@@ -1,0 +1,101 @@
+"""Ablation studies for the design choices called out in DESIGN.md.
+
+* TS/TT kernel efficiency gap — AUTO's reason to exist: force all trees to
+  the same kernel efficiency and AUTO's advantage over GREEDY disappears.
+* AUTO's gamma parameter — the paper uses gamma = 2; sweep it.
+* Distributed top-level tree — flat vs greedy top tree (communication
+  volume vs parallelism).
+* Tile size nb — the GE2BND / BND2BD trade-off of Section VI-B.
+"""
+
+from benchmarks.conftest import print_table
+from repro.experiments.figures import format_rows
+from repro.runtime.machine import Machine
+from repro.runtime.simulator import simulate_ge2bnd, simulate_ge2val
+from repro.trees import AutoTree, GreedyTree, HierarchicalTree
+
+
+def test_ablation_auto_gamma(benchmark):
+    machine = Machine(n_nodes=1, cores_per_node=24, tile_size=160)
+
+    def run():
+        rows = []
+        for gamma in (1.0, 2.0, 4.0, 8.0):
+            tree = AutoTree(n_cores=machine.cores_per_node, gamma=gamma)
+            sim = simulate_ge2bnd(4000, 4000, machine, tree=tree)
+            rows.append({"gamma": gamma, "gflops": sim.gflops})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: AUTO gamma parameter (m=n=4000)", format_rows(rows))
+    best = max(r["gflops"] for r in rows)
+    paper_choice = next(r["gflops"] for r in rows if r["gamma"] == 2.0)
+    # The paper's gamma = 2 is within a few percent of the best setting.
+    assert paper_choice >= 0.9 * best
+
+
+def test_ablation_auto_domain_size(benchmark):
+    machine = Machine(n_nodes=1, cores_per_node=24, tile_size=160)
+
+    def run():
+        rows = []
+        for a in (1, 2, 4, 8, 16):
+            tree = AutoTree(fixed_domain_size=a)
+            sim = simulate_ge2bnd(4000, 4000, machine, tree=tree)
+            rows.append({"domain_size": a, "gflops": sim.gflops})
+        adaptive = simulate_ge2bnd(
+            4000, 4000, machine, tree=AutoTree(n_cores=machine.cores_per_node)
+        )
+        rows.append({"domain_size": "adaptive", "gflops": adaptive.gflops})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: FlatTS domain size inside AUTO (m=n=4000)", format_rows(rows))
+    adaptive = rows[-1]["gflops"]
+    fixed_best = max(r["gflops"] for r in rows[:-1])
+    # The adaptive choice is competitive with the best fixed domain size.
+    assert adaptive >= 0.85 * fixed_best
+
+
+def test_ablation_distributed_top_tree(benchmark):
+    def run():
+        rows = []
+        for top in ("flat", "greedy", "fibonacci"):
+            machine = Machine(n_nodes=4, cores_per_node=12, tile_size=160)
+            tree = HierarchicalTree(local_tree=GreedyTree(), top=top, grid_rows=2)
+            sim = simulate_ge2bnd(4000, 4000, machine, tree=tree)
+            rows.append(
+                {"top_tree": top, "gflops": sim.gflops, "messages": sim.messages}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: distributed top-level tree (4 nodes)", format_rows(rows))
+    by_top = {r["top_tree"]: r for r in rows}
+    # The flat top tree performs fewer communications than the greedy one
+    # (the factor-of-two observation of Section VI-D).
+    assert by_top["flat"]["messages"] <= by_top["greedy"]["messages"]
+
+
+def test_ablation_tile_size(benchmark):
+    def run():
+        rows = []
+        for nb in (80, 160, 320):
+            machine = Machine(n_nodes=1, cores_per_node=24, tile_size=nb)
+            sim = simulate_ge2val(6000, 6000, machine, tree="auto", algorithm="bidiag")
+            rows.append(
+                {
+                    "nb": nb,
+                    "ge2bnd_s": sim.ge2bnd_seconds,
+                    "bnd2bd+bd2val_s": sim.post_seconds,
+                    "ge2val_gflops": sim.gflops,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Ablation: tile size trade-off (GE2BND vs BND2BD)", format_rows(rows))
+    # Larger tiles slow the memory-bound second stage down (more band flops)...
+    assert rows[-1]["bnd2bd+bd2val_s"] > rows[0]["bnd2bd+bd2val_s"]
+    # ...which is why the paper tunes nb rather than maximising it.
+    assert rows[1]["ge2val_gflops"] >= 0.8 * max(r["ge2val_gflops"] for r in rows)

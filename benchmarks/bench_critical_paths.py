@@ -1,0 +1,84 @@
+"""Section IV — critical-path lengths of BIDIAG and R-BIDIAG.
+
+Regenerates the critical-path comparison (measured DAG vs closed forms) for
+the three analysed trees, and the asymptotic statements of Theorem 1.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.analysis.crossover import measured_bidiag_cp, measured_rbidiag_cp
+from repro.analysis.formulas import (
+    bidiag_flatts_cp,
+    bidiag_flattt_cp,
+    bidiag_greedy_cp,
+    greedy_asymptotic_cp,
+)
+from repro.experiments.figures import critical_path_table, format_rows
+
+
+def test_critical_path_table(benchmark):
+    rows = benchmark.pedantic(
+        lambda: critical_path_table(shapes=((4, 4), (8, 8), (16, 8), (32, 8), (16, 16))),
+        rounds=1,
+        iterations=1,
+    )
+    print_table("Section IV: critical paths (measured vs closed form)", format_rows(rows))
+    for r in rows:
+        if r["algorithm"] == "bidiag":
+            assert r["cp_measured"] == r["cp_formula"]
+        else:
+            assert r["cp_measured"] <= r["cp_formula"]
+
+
+def test_greedy_is_order_of_magnitude_better(benchmark):
+    """Θ(q log2 p) vs Θ(pq): the FlatTS/Greedy ratio grows linearly in p/log p."""
+    benchmark.pedantic(lambda: bidiag_greedy_cp(64, 64), rounds=1, iterations=1)
+    rows = []
+    for q in (8, 16, 32):
+        ratio_ts = bidiag_flatts_cp(q, q) / bidiag_greedy_cp(q, q)
+        ratio_tt = bidiag_flattt_cp(q, q) / bidiag_greedy_cp(q, q)
+        rows.append({"q": q, "flatts/greedy": ratio_ts, "flattt/greedy": ratio_tt})
+    print_table("BIDIAG critical-path ratios vs GREEDY (square)", format_rows(rows))
+    assert rows[-1]["flatts/greedy"] > rows[0]["flatts/greedy"]
+    assert rows[-1]["flatts/greedy"] > 3.0
+
+
+def test_theorem1_asymptotic_ratio(benchmark):
+    """BIDIAG / R-BIDIAG -> 1 + alpha/2 for p = q^(1+alpha)."""
+    benchmark.pedantic(lambda: measured_rbidiag_cp(16, 8), rounds=1, iterations=1)
+    rows = []
+    q = 8
+    for alpha in (0.0, 0.5, 0.9):
+        p = max(q, int(round(q ** (1.0 + alpha))))
+        ratio = measured_bidiag_cp(p, q) / measured_rbidiag_cp(p, q)
+        rows.append({"alpha": alpha, "p": p, "q": q, "ratio": ratio, "limit": 1 + alpha / 2})
+    print_table("Theorem 1: BIDIAG/R-BIDIAG critical-path ratio", format_rows(rows))
+    ratios = [r["ratio"] for r in rows]
+    assert ratios[0] < ratios[1] < ratios[2]
+
+
+def test_greedy_asymptotic_equivalent(benchmark):
+    benchmark.pedantic(lambda: bidiag_greedy_cp(256, 256), rounds=1, iterations=1)
+    rows = []
+    for q in (64, 128, 256):
+        rows.append(
+            {
+                "q": q,
+                "cp": bidiag_greedy_cp(q, q),
+                "(12)q log2 q": greedy_asymptotic_cp(q),
+                "ratio": bidiag_greedy_cp(q, q) / greedy_asymptotic_cp(q),
+            }
+        )
+    print_table("BIDIAG-GREEDY(q,q) vs asymptotic 12 q log2 q", format_rows(rows))
+    assert abs(rows[-1]["ratio"] - 1.0) < 0.25
+
+
+def test_bench_bidiag_greedy_formula(benchmark):
+    benchmark(bidiag_greedy_cp, 512, 256)
+
+
+def test_bench_measured_cp_small(benchmark):
+    benchmark(measured_bidiag_cp.__wrapped__, 16, 8)

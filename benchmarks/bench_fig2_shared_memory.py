@@ -1,0 +1,87 @@
+"""Figure 2 — shared-memory performance on one 24-core miriel node.
+
+Top row: GE2BND GFlop/s for the four trees (square and tall-skinny cases,
+BIDIAG vs R-BIDIAG).  Bottom row: GE2VAL against PLASMA, MKL, ScaLAPACK and
+Elemental.  Sizes are scaled down by default (REPRO_FULL_SCALE=1 restores
+the paper's sweep); the assertions target the *shape* of the figure:
+
+* small square matrices: trees with more parallelism (Greedy/FlatTT) beat
+  FlatTS; AUTO is at least as good as both;
+* large square matrices: FlatTS catches up; AUTO stays on top;
+* tall-skinny: R-BIDIAG overtakes BIDIAG and AUTO gives the best rate;
+* GE2VAL: DPLASMA ahead of PLASMA and MKL, ScaLAPACK/Elemental an order of
+  magnitude behind on square problems.
+"""
+
+from collections import defaultdict
+
+from benchmarks.conftest import print_table
+from repro.experiments.figures import (
+    fig2_ge2bnd_square,
+    fig2_ge2bnd_tall_skinny,
+    fig2_ge2val_comparison,
+    format_rows,
+)
+
+
+def _by(rows, *keys):
+    out = {}
+    for r in rows:
+        out[tuple(r[k] for k in keys)] = r["gflops"]
+    return out
+
+
+def test_fig2_ge2bnd_square(benchmark, miriel_node):
+    sizes = (2000, 4000, 8000)
+    rows = benchmark.pedantic(
+        lambda: fig2_ge2bnd_square(sizes=sizes, machine=miriel_node), rounds=1, iterations=1
+    )
+    print_table("Figure 2 (top-left): GE2BND, square, 24 cores", format_rows(rows))
+    g = _by(rows, "m", "tree")
+    small, large = sizes[0], sizes[-1]
+    # Small matrices: parallel trees beat FlatTS; AUTO at least as good.
+    assert g[(small, "greedy")] > g[(small, "flatts")]
+    assert g[(small, "auto")] >= 0.95 * max(g[(small, t)] for t in ("flatts", "flattt", "greedy"))
+    # Large matrices: FlatTS catches up with the TT trees, AUTO stays on top.
+    assert g[(large, "flatts")] > 0.9 * g[(large, "greedy")]
+    assert g[(large, "auto")] >= 0.95 * max(g[(large, t)] for t in ("flatts", "flattt", "greedy"))
+    # Rates grow with the problem size for every tree.
+    for tree in ("flatts", "flattt", "greedy", "auto"):
+        assert g[(large, tree)] > g[(small, tree)]
+
+
+def test_fig2_ge2bnd_tall_skinny_n2000(benchmark, miriel_node):
+    m_values = (4000, 8000, 16000, 32000)
+    rows = benchmark.pedantic(
+        lambda: fig2_ge2bnd_tall_skinny(n=2000, m_values=m_values, machine=miriel_node),
+        rounds=1,
+        iterations=1,
+    )
+    print_table("Figure 2 (top-middle): GE2BND, n=2000", format_rows(rows))
+    g = _by(rows, "m", "tree", "algorithm")
+    tallest = m_values[-1]
+    # R-BIDIAG clearly ahead of BIDIAG on very tall matrices (paper: up to 1.8x).
+    assert g[(tallest, "auto", "rbidiag")] > 1.2 * g[(tallest, "auto", "bidiag")]
+    # AUTO is the best configuration overall.
+    best_other = max(
+        g[(tallest, t, "rbidiag")] for t in ("flatts", "flattt", "greedy")
+    )
+    assert g[(tallest, "auto", "rbidiag")] >= 0.95 * best_other
+
+
+def test_fig2_ge2val_competitors(benchmark, miriel_node):
+    shapes = [(6000, 6000), (24000, 2000)]
+    rows = benchmark.pedantic(
+        lambda: fig2_ge2val_comparison(shapes=shapes, machine=miriel_node),
+        rounds=1,
+        iterations=1,
+    )
+    print_table("Figure 2 (bottom): GE2VAL vs competitors", format_rows(rows))
+    g = _by(rows, "m", "library")
+    # Square case: DPLASMA ahead of PLASMA and MKL; ScaLAPACK/Elemental far behind.
+    assert g[(6000, "DPLASMA")] >= g[(6000, "PLASMA")]
+    assert g[(6000, "DPLASMA")] > g[(6000, "ScaLAPACK")] * 3
+    assert g[(6000, "DPLASMA")] > g[(6000, "Elemental")] * 3
+    # Tall-skinny: Elemental (Chan switch) beats ScaLAPACK, DPLASMA beats both.
+    assert g[(24000, "Elemental")] > g[(24000, "ScaLAPACK")]
+    assert g[(24000, "DPLASMA")] > g[(24000, "Elemental")]

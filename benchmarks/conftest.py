@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper
+(see DESIGN.md for the experiment index) and prints the corresponding
+series; run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+
+Problem sizes are scaled down by default so the whole harness completes in
+minutes on a laptop; set ``REPRO_FULL_SCALE=1`` to use the paper's sizes
+(slow: the biggest DAGs have millions of tasks).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.runtime.machine import Machine  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def miriel_node() -> Machine:
+    """One 24-core miriel node with the paper's tile size."""
+    return Machine(n_nodes=1, cores_per_node=24, tile_size=160)
+
+
+def print_table(title: str, text: str) -> None:
+    """Print a paper-style series under a banner (visible with ``-s``)."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}\n{text}\n")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Distributed-memory simulation: strong and weak scaling on a virtual cluster.
+
+Reproduces the setup of Figures 3 and 4 of the paper on a simulated
+``miriel`` cluster (24-core nodes, 40 Gb/s InfiniBand): 2D block-cyclic
+data distribution, hierarchical reduction trees (local tree per node +
+flat/greedy tree across nodes), owner-computes task mapping and per-tile
+message costs.
+
+Run:  python examples/distributed_simulation.py
+"""
+
+from repro.experiments.figures import format_rows
+from repro.models.competitors import COMPETITORS
+from repro.runtime.machine import Machine
+from repro.runtime.simulator import simulate_ge2bnd, simulate_ge2val
+from repro.tiles.distribution import ProcessGrid
+
+
+def strong_scaling(m: int, n: int, node_counts) -> None:
+    print(f"\n--- strong scaling, GE2BND, m={m}, n={n} ---")
+    rows = []
+    for nodes in node_counts:
+        machine = Machine(n_nodes=nodes, cores_per_node=23, tile_size=160)
+        for tree in ("flatts", "greedy", "auto"):
+            sim = simulate_ge2bnd(m, n, machine, tree=tree, algorithm="bidiag")
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "tree": tree,
+                    "gflops": sim.gflops,
+                    "messages": sim.messages,
+                    "comm_MB": sim.comm_bytes / 1e6,
+                }
+            )
+    print(format_rows(rows))
+
+
+def ge2val_vs_competitors(m: int, n: int, node_counts) -> None:
+    print(f"\n--- GE2VAL vs competitors, m={m}, n={n} ---")
+    rows = []
+    for nodes in node_counts:
+        machine = Machine(n_nodes=nodes, cores_per_node=23, tile_size=160)
+        dplasma = simulate_ge2val(m, n, machine, tree="auto")
+        rows.append({"nodes": nodes, "library": "DPLASMA (this work)", "gflops": dplasma.gflops})
+        for name in ("Elemental", "ScaLAPACK"):
+            rows.append(
+                {"nodes": nodes, "library": name, "gflops": COMPETITORS[name].gflops(m, n, machine)}
+            )
+    print(format_rows(rows))
+
+
+def weak_scaling(n: int, rows_per_node: int, node_counts) -> None:
+    print(f"\n--- weak scaling, R-BIDIAG, n={n}, m = {rows_per_node} x nodes ---")
+    rows = []
+    for nodes in node_counts:
+        m = rows_per_node * nodes
+        machine = Machine(n_nodes=nodes, cores_per_node=24, tile_size=160)
+        grid = ProcessGrid.for_tall_skinny_matrix(nodes)
+        sim = simulate_ge2bnd(m, n, machine, tree="auto", algorithm="rbidiag")
+        rows.append(
+            {
+                "nodes": nodes,
+                "grid": f"{grid.rows}x{grid.cols}",
+                "m": m,
+                "gflops": sim.gflops,
+                "gflops/node": sim.gflops / nodes,
+                "efficiency": sim.gflops / machine.peak_gflops,
+            }
+        )
+    print(format_rows(rows))
+
+
+def main() -> None:
+    node_counts = (1, 4, 9, 16)
+    strong_scaling(8000, 8000, node_counts)
+    ge2val_vs_competitors(8000, 8000, node_counts)
+    weak_scaling(2000, 8000, (1, 2, 4, 8))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Tile-size tuning: the GE2BND / BND2BD trade-off of Section VI-B.
+
+The paper tunes ``nb = 160`` (and ``ib = 32``) on the square 20000/30000
+cases: a larger tile raises the efficiency of the GE2BND kernels but
+increases the flops of the memory-bound BND2BD stage, a smaller tile does
+the opposite.  This example sweeps ``nb`` with the performance simulator
+and the roofline model to show both sides of the trade-off, then picks the
+best tile size for a few matrix shapes.
+
+Run:  python examples/tile_size_tuning.py
+"""
+
+from repro.kernels.costs import kernel_efficiency, tile_efficiency_factor
+from repro.models.roofline import roofline_summary, tile_kernel_intensity
+from repro.runtime.machine import Machine
+from repro.runtime.simulator import simulate_ge2val
+
+
+def main() -> None:
+    tile_sizes = (80, 120, 160, 240, 320)
+
+    print("== kernel efficiency and arithmetic intensity vs tile size ==")
+    print(f"{'nb':>5s} {'eff factor':>11s} {'TSMQR eff':>10s} {'intensity (flops/B)':>20s}")
+    for nb in tile_sizes:
+        print(f"{nb:5d} {tile_efficiency_factor(nb):11.2f} "
+              f"{kernel_efficiency('TSMQR', nb):10.2f} {tile_kernel_intensity(nb):20.1f}")
+
+    print("\n== roofline placement at nb = 160 ==")
+    for name, point in roofline_summary(nb=160).items():
+        bound = "memory bound" if point.memory_bound else "compute bound"
+        print(f"  {name:22s}: {point.arithmetic_intensity:6.2f} flops/B -> "
+              f"{point.attainable_gflops:6.1f} GFlop/s ({bound})")
+
+    print("\n== simulated GE2VAL rate vs tile size (24-core node) ==")
+    shapes = [(6000, 6000), (12000, 6000), (24000, 2000)]
+    header = "shape".ljust(16) + "".join(f"nb={nb:<8d}" for nb in tile_sizes) + "best"
+    print(header)
+    for m, n in shapes:
+        rates = []
+        for nb in tile_sizes:
+            machine = Machine(n_nodes=1, cores_per_node=24, tile_size=nb)
+            sim = simulate_ge2val(m, n, machine, tree="auto")
+            rates.append(sim.gflops)
+        best = tile_sizes[max(range(len(rates)), key=lambda i: rates[i])]
+        cells = "".join(f"{r:<11.1f}" for r in rates)
+        print(f"{m}x{n}".ljust(16) + cells + f"nb={best}")
+
+    print("\nSmall problems favour small tiles (the memory-bound BND2BD stage dominates); "
+          "as the matrix grows the optimum moves toward the paper's nb=160 region, "
+          "where the higher GE2BND kernel efficiency pays for the extra BND2BD flops.")
+
+
+if __name__ == "__main__":
+    main()

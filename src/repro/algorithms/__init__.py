@@ -1,0 +1,33 @@
+"""Tiled algorithms: QR, LQ, BIDIAG, R-BIDIAG, BND2BD, BD2VAL and SVD drivers."""
+
+from repro.algorithms.executor import KernelExecutor, NumericExecutor, MultiExecutor
+from repro.algorithms.tiled_qr import tiled_qr, qr_step
+from repro.algorithms.tiled_lq import tiled_lq, lq_step
+from repro.algorithms.bidiag import bidiag_ge2bnd
+from repro.algorithms.rbidiag import rbidiag_ge2bnd
+from repro.algorithms.band import BandBidiagonal, extract_band
+from repro.algorithms.ge2bd import golub_kahan_bidiagonalization
+from repro.algorithms.bnd2bd import band_to_bidiagonal
+from repro.algorithms.bd2val import bidiagonal_singular_values, bidiagonal_sv_bisection
+from repro.algorithms.svd import ge2bnd, ge2val, gesvd
+
+__all__ = [
+    "KernelExecutor",
+    "NumericExecutor",
+    "MultiExecutor",
+    "tiled_qr",
+    "qr_step",
+    "tiled_lq",
+    "lq_step",
+    "bidiag_ge2bnd",
+    "rbidiag_ge2bnd",
+    "BandBidiagonal",
+    "extract_band",
+    "golub_kahan_bidiagonalization",
+    "band_to_bidiagonal",
+    "bidiagonal_singular_values",
+    "bidiagonal_sv_bisection",
+    "ge2bnd",
+    "ge2val",
+    "gesvd",
+]

@@ -1,0 +1,246 @@
+"""BD2VAL: singular values of a real upper bidiagonal matrix.
+
+Two independent solvers are provided:
+
+* :func:`bidiagonal_singular_values` — the Golub–Kahan implicit-shift QR
+  iteration (the algorithm behind LAPACK ``xBDSQR``), with deflation and
+  the standard zero-diagonal handling;
+* :func:`bidiagonal_sv_bisection` — bisection on Sturm counts of the
+  Golub–Kahan tridiagonal form ``TGK = [[0, B^T], [B, 0]]`` (permuted to a
+  tridiagonal with zero diagonal), the algorithm behind ``xBDSVX``.
+
+Both take the two diagonals ``(d, e)`` and return the singular values in
+descending order.  They are used as the last stage of the GE2VAL pipeline
+and to cross-check each other in the property-based tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def _givens(f: float, g: float) -> Tuple[float, float, float]:
+    """Return ``(c, s, r)`` with ``c*f + s*g = r`` and ``-s*f + c*g = 0``."""
+    if g == 0.0:
+        return 1.0, 0.0, f
+    if f == 0.0:
+        return 0.0, 1.0, g
+    r = math.hypot(f, g)
+    return f / r, g / r, r
+
+
+def _wilkinson_shift(d: np.ndarray, e: np.ndarray, lo: int, hi: int) -> float:
+    """Wilkinson shift from the trailing 2x2 block of ``B^T B``."""
+    dm = d[hi - 1] ** 2 + (e[hi - 2] ** 2 if hi - 1 > lo else 0.0)
+    dn = d[hi] ** 2 + e[hi - 1] ** 2
+    off = d[hi - 1] * e[hi - 1]
+    if off == 0.0:
+        return dn
+    delta = (dm - dn) / 2.0
+    sign = 1.0 if delta >= 0 else -1.0
+    denom = delta + sign * math.hypot(delta, off)
+    if denom == 0.0:
+        return dn
+    return dn - off * off / denom
+
+
+def _gk_sweep(d: np.ndarray, e: np.ndarray, lo: int, hi: int) -> None:
+    """One implicit-shift Golub–Kahan QR sweep on the block ``[lo, hi]``."""
+    mu = _wilkinson_shift(d, e, lo, hi)
+    y = d[lo] * d[lo] - mu
+    z = d[lo] * e[lo]
+    for k in range(lo, hi):
+        # Right rotation on columns (k, k+1): zeroes the above-superdiagonal
+        # bulge (or, at k == lo, introduces the shift).
+        c, s, r = _givens(y, z)
+        if k > lo:
+            e[k - 1] = r
+        f, g = d[k], e[k]
+        d[k] = c * f + s * g
+        e[k] = -s * f + c * g
+        h = d[k + 1]
+        bulge = s * h
+        d[k + 1] = c * h
+        # Left rotation on rows (k, k+1): zeroes the subdiagonal bulge.
+        c, s, r = _givens(d[k], bulge)
+        d[k] = r
+        f, g = e[k], d[k + 1]
+        e[k] = c * f + s * g
+        d[k + 1] = -s * f + c * g
+        if k < hi - 1:
+            g = e[k + 1]
+            bulge = s * g
+            e[k + 1] = c * g
+            y = e[k]
+            z = bulge
+
+
+def _deflate_zero_diagonal(d: np.ndarray, e: np.ndarray, lo: int, hi: int, idx: int) -> None:
+    """Rotate away the superdiagonal entries coupled to a zero diagonal ``d[idx]``.
+
+    When ``d[idx] == 0`` the implicit QR iteration stalls; the standard cure
+    (LAPACK ``dbdsqr``) applies row rotations that chase ``e[idx]`` to the
+    right until it vanishes, splitting the problem.
+    """
+    # Chase e[idx] rightwards using rotations involving row idx.
+    f = e[idx]
+    e[idx] = 0.0
+    for j in range(idx + 1, hi + 1):
+        c, s, r = _givens(d[j], f)
+        d[j] = r
+        if j < hi:
+            f = -s * e[j]
+            e[j] = c * e[j]
+        if f == 0.0:
+            break
+
+
+def bidiagonal_singular_values(
+    d: np.ndarray,
+    e: np.ndarray,
+    *,
+    tol: float = 1e-14,
+    max_sweeps: int = 200,
+) -> np.ndarray:
+    """Singular values of the upper bidiagonal matrix ``B = bidiag(d, e)``.
+
+    Implicit-shift Golub–Kahan QR iteration with deflation.  The result is
+    returned in descending order.
+
+    Parameters
+    ----------
+    d, e:
+        Main diagonal (length ``n``) and superdiagonal (length ``n - 1``).
+    tol:
+        Relative deflation threshold for superdiagonal entries.
+    max_sweeps:
+        Maximum number of QR sweeps per singular value before giving up
+        (raises ``RuntimeError``); the typical count is 2–3.
+    """
+    d = np.array(d, dtype=float, copy=True).ravel()
+    e = np.array(e, dtype=float, copy=True).ravel()
+    n = d.size
+    if e.size != max(n - 1, 0):
+        raise ValueError(f"superdiagonal must have length {n - 1}, got {e.size}")
+    if n == 0:
+        return np.array([])
+    if n == 1:
+        return np.abs(d)
+
+    norm = max(float(np.max(np.abs(d))), float(np.max(np.abs(e))), 1e-300)
+    total_sweeps = 0
+    sweep_budget = max_sweeps * n
+    hi = n - 1
+    while hi > 0:
+        # Deflate negligible superdiagonal entries.
+        for i in range(hi):
+            if abs(e[i]) <= tol * (abs(d[i]) + abs(d[i + 1])) + tol * norm * 1e-2:
+                e[i] = 0.0
+        if e[hi - 1] == 0.0:
+            hi -= 1
+            continue
+        # Active block [lo, hi]: the largest trailing unreduced block.
+        lo = hi - 1
+        while lo > 0 and e[lo - 1] != 0.0:
+            lo -= 1
+        # Zero diagonal inside the block: split explicitly.
+        zero_idx = None
+        for i in range(lo, hi):
+            if abs(d[i]) <= tol * norm:
+                zero_idx = i
+                break
+        if zero_idx is not None:
+            d[zero_idx] = 0.0
+            _deflate_zero_diagonal(d, e, lo, hi, zero_idx)
+            continue
+        _gk_sweep(d, e, lo, hi)
+        total_sweeps += 1
+        if total_sweeps > sweep_budget:
+            raise RuntimeError(
+                f"bidiagonal QR iteration did not converge after {total_sweeps} sweeps"
+            )
+    return np.sort(np.abs(d))[::-1]
+
+
+# --------------------------------------------------------------------------- #
+# Bisection on the Golub–Kahan tridiagonal form
+# --------------------------------------------------------------------------- #
+def _tgk_offdiagonal(d: np.ndarray, e: np.ndarray) -> np.ndarray:
+    """Off-diagonal of the (permuted) Golub–Kahan tridiagonal ``TGK``.
+
+    ``TGK`` is the ``2n x 2n`` symmetric tridiagonal matrix with zero
+    diagonal and off-diagonal ``[d_1, e_1, d_2, e_2, ..., e_{n-1}, d_n]``;
+    its eigenvalues are ``±σ_i(B)``.
+    """
+    n = d.size
+    off = np.zeros(2 * n - 1)
+    off[0::2] = d
+    if n > 1:
+        off[1::2] = e
+    return off
+
+
+def _sturm_count(offdiag: np.ndarray, x: float) -> int:
+    """Number of eigenvalues of the zero-diagonal tridiagonal that are < x."""
+    count = 0
+    q = -x
+    if q < 0.0:
+        count += 1
+    tiny = 1e-300
+    for b in offdiag:
+        if q == 0.0:
+            q = tiny
+        q = -x - (b * b) / q
+        if q < 0.0:
+            count += 1
+    return count
+
+
+def bidiagonal_sv_bisection(
+    d: np.ndarray,
+    e: np.ndarray,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> np.ndarray:
+    """Singular values of ``bidiag(d, e)`` by bisection on Sturm counts.
+
+    Robust (never fails to converge) but slower than the QR iteration; used
+    as an independent cross-check and for subset computations.
+    """
+    d = np.asarray(d, dtype=float).ravel()
+    e = np.asarray(e, dtype=float).ravel()
+    n = d.size
+    if n == 0:
+        return np.array([])
+    if e.size != max(n - 1, 0):
+        raise ValueError(f"superdiagonal must have length {n - 1}, got {e.size}")
+    off = _tgk_offdiagonal(d, e)
+    # Upper bound on the spectral radius: Gershgorin on TGK.
+    bound = 0.0
+    full = np.concatenate([[0.0], np.abs(off), [0.0]])
+    for i in range(full.size - 1):
+        bound = max(bound, full[i] + full[i + 1])
+    bound = max(bound, 1e-300)
+
+    sigmas = np.zeros(n)
+    for k in range(1, n + 1):
+        # The k-th largest singular value is the (n + k)-th smallest
+        # eigenvalue of TGK (eigenvalues are -σ_n <= ... <= -σ_1 <= σ_1*...
+        # actually ±σ_i); equivalently the number of eigenvalues < x reaches
+        # n + (n - k) + 1 once x exceeds σ_k.
+        target = n + (n - k) + 1
+        lo_x, hi_x = 0.0, bound * (1.0 + 1e-10)
+        for _ in range(max_iter):
+            mid = 0.5 * (lo_x + hi_x)
+            if _sturm_count(off, mid) >= target:
+                hi_x = mid
+            else:
+                lo_x = mid
+            if hi_x - lo_x <= tol * max(1.0, hi_x):
+                break
+        sigmas[k - 1] = 0.5 * (lo_x + hi_x)
+    return sigmas

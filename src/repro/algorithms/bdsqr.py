@@ -1,0 +1,203 @@
+"""Bidiagonal SVD with singular vectors (LAPACK ``xBDSQR``-style).
+
+:func:`bdsqr` runs the implicit-shift Golub–Kahan QR iteration of
+:mod:`repro.algorithms.bd2val` while accumulating the left and right
+rotations, so it returns the full SVD of the bidiagonal matrix:
+
+``bidiag(d, e) = U3 · diag(σ) · V3^T``
+
+It is the last stage of the singular-*vector* pipeline (GESVD): the tiled
+GE2BND factors, the BND2BD factors and these QR-iteration factors compose
+into the SVD of the original matrix (see
+:mod:`repro.algorithms.gesvd_pipeline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.bd2val import _givens, _wilkinson_shift
+
+
+@dataclass
+class BdsqrResult:
+    """SVD of an upper bidiagonal matrix.
+
+    Attributes
+    ----------
+    singular_values:
+        The singular values in descending order.
+    u:
+        Left singular vectors (``n x n``), column ``i`` pairs with
+        ``singular_values[i]``.
+    vt:
+        Right singular vectors, transposed (``n x n``).
+    sweeps:
+        Number of QR sweeps performed (diagnostic).
+    """
+
+    singular_values: np.ndarray
+    u: np.ndarray
+    vt: np.ndarray
+    sweeps: int
+
+
+def _rotate_u(u: np.ndarray, k1: int, k2: int, c: float, s: float) -> None:
+    """Fold a left rotation of rows ``(k1, k2)`` of ``B`` into ``U``."""
+    col1 = u[:, k1].copy()
+    col2 = u[:, k2].copy()
+    u[:, k1] = c * col1 + s * col2
+    u[:, k2] = -s * col1 + c * col2
+
+
+def _rotate_vt(vt: np.ndarray, k1: int, k2: int, c: float, s: float) -> None:
+    """Fold a right rotation of columns ``(k1, k2)`` of ``B`` into ``V^T``."""
+    row1 = vt[k1, :].copy()
+    row2 = vt[k2, :].copy()
+    vt[k1, :] = c * row1 + s * row2
+    vt[k2, :] = -s * row1 + c * row2
+
+
+def _gk_sweep_uv(
+    d: np.ndarray,
+    e: np.ndarray,
+    lo: int,
+    hi: int,
+    u: np.ndarray,
+    vt: np.ndarray,
+) -> None:
+    """One implicit-shift sweep on the block ``[lo, hi]`` with accumulation."""
+    mu = _wilkinson_shift(d, e, lo, hi)
+    y = d[lo] * d[lo] - mu
+    z = d[lo] * e[lo]
+    for k in range(lo, hi):
+        # Right rotation on columns (k, k+1).
+        c, s, r = _givens(y, z)
+        if k > lo:
+            e[k - 1] = r
+        f, g = d[k], e[k]
+        d[k] = c * f + s * g
+        e[k] = -s * f + c * g
+        h = d[k + 1]
+        bulge = s * h
+        d[k + 1] = c * h
+        _rotate_vt(vt, k, k + 1, c, s)
+        # Left rotation on rows (k, k+1).
+        c, s, r = _givens(d[k], bulge)
+        d[k] = r
+        f, g = e[k], d[k + 1]
+        e[k] = c * f + s * g
+        d[k + 1] = -s * f + c * g
+        _rotate_u(u, k, k + 1, c, s)
+        if k < hi - 1:
+            g = e[k + 1]
+            bulge = s * g
+            e[k + 1] = c * g
+            y = e[k]
+            z = bulge
+
+
+def _deflate_zero_diagonal_uv(
+    d: np.ndarray,
+    e: np.ndarray,
+    lo: int,
+    hi: int,
+    idx: int,
+    u: np.ndarray,
+) -> None:
+    """Chase away the superdiagonal coupled to a zero ``d[idx]`` (left rotations)."""
+    f = e[idx]
+    e[idx] = 0.0
+    for j in range(idx + 1, hi + 1):
+        c, s, r = _givens(d[j], f)
+        d[j] = r
+        _rotate_u(u, j, idx, c, s)
+        if j < hi:
+            f = -s * e[j]
+            e[j] = c * e[j]
+        if f == 0.0:
+            break
+
+
+def bdsqr(
+    d: np.ndarray,
+    e: np.ndarray,
+    *,
+    tol: float = 1e-14,
+    max_sweeps: int = 200,
+) -> BdsqrResult:
+    """Full SVD of the upper bidiagonal matrix ``bidiag(d, e)``.
+
+    Parameters
+    ----------
+    d, e:
+        Main diagonal (length ``n``) and superdiagonal (length ``n - 1``).
+    tol:
+        Relative deflation threshold for superdiagonal entries.
+    max_sweeps:
+        Sweep budget per singular value (``RuntimeError`` beyond it).
+
+    Returns
+    -------
+    BdsqrResult
+        Singular values in descending order with matching ``u`` / ``vt``.
+    """
+    d = np.array(d, dtype=float, copy=True).ravel()
+    e = np.array(e, dtype=float, copy=True).ravel()
+    n = d.size
+    if e.size != max(n - 1, 0):
+        raise ValueError(f"superdiagonal must have length {n - 1}, got {e.size}")
+    if n == 0:
+        return BdsqrResult(np.array([]), np.zeros((0, 0)), np.zeros((0, 0)), 0)
+    u = np.eye(n)
+    vt = np.eye(n)
+    if n == 1:
+        sigma = abs(d[0])
+        if d[0] < 0:
+            u[0, 0] = -1.0
+        return BdsqrResult(np.array([sigma]), u, vt, 0)
+
+    norm = max(float(np.max(np.abs(d))), float(np.max(np.abs(e))), 1e-300)
+    total_sweeps = 0
+    sweep_budget = max_sweeps * n
+    hi = n - 1
+    while hi > 0:
+        for i in range(hi):
+            if abs(e[i]) <= tol * (abs(d[i]) + abs(d[i + 1])) + tol * norm * 1e-2:
+                e[i] = 0.0
+        if e[hi - 1] == 0.0:
+            hi -= 1
+            continue
+        lo = hi - 1
+        while lo > 0 and e[lo - 1] != 0.0:
+            lo -= 1
+        zero_idx = None
+        for i in range(lo, hi):
+            if abs(d[i]) <= tol * norm:
+                zero_idx = i
+                break
+        if zero_idx is not None:
+            d[zero_idx] = 0.0
+            _deflate_zero_diagonal_uv(d, e, lo, hi, zero_idx, u)
+            continue
+        _gk_sweep_uv(d, e, lo, hi, u, vt)
+        total_sweeps += 1
+        if total_sweeps > sweep_budget:
+            raise RuntimeError(
+                f"bidiagonal QR iteration did not converge after {total_sweeps} sweeps"
+            )
+
+    # Fix signs (singular values must be non-negative) and sort descending.
+    signs = np.where(d < 0, -1.0, 1.0)
+    sigma = np.abs(d)
+    u = u * signs[np.newaxis, :]
+    order = np.argsort(sigma)[::-1]
+    return BdsqrResult(
+        singular_values=sigma[order],
+        u=u[:, order],
+        vt=vt[order, :],
+        sweeps=total_sweeps,
+    )

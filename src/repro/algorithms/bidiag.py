@@ -1,0 +1,99 @@
+"""BIDIAG: tiled bidiagonalization (GE2BND, Section III-B).
+
+The algorithm interleaves one QR step and one LQ step:
+
+``QR(1); LQ(1); QR(2); LQ(2); ...; QR(q-1); LQ(q-1); QR(q)``
+
+After completion the matrix is in *band bidiagonal* form: the only nonzero
+tiles are the diagonal tiles ``(k, k)`` (upper triangular) and the
+superdiagonal tiles ``(k, k+1)`` (lower triangular), i.e. an upper banded
+matrix of element bandwidth ``nb``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.executor import KernelExecutor, NumericExecutor
+from repro.algorithms.tiled_lq import lq_step
+from repro.algorithms.tiled_qr import qr_step
+from repro.tiles.matrix import TiledMatrix
+from repro.trees import GreedyTree
+from repro.trees.base import ReductionTree
+
+
+def bidiag_ge2bnd(
+    a: "TiledMatrix | KernelExecutor",
+    qr_tree: Optional[ReductionTree] = None,
+    lq_tree: Optional[ReductionTree] = None,
+    *,
+    n_cores: int = 1,
+    grid_rows: int = 1,
+    row_limit: Optional[int] = None,
+    col_limit: Optional[int] = None,
+    skip_first_qr: bool = False,
+    check_plan: bool = False,
+) -> "TiledMatrix | None":
+    """Reduce a tiled matrix to band bidiagonal form (BIDIAG).
+
+    Parameters
+    ----------
+    a:
+        A :class:`TiledMatrix` (reduced in place and returned) or an
+        executor (driven through; returns ``None``).
+    qr_tree, lq_tree:
+        Reduction trees for the QR and LQ steps; both default to GREEDY.
+        Passing a single tree for both is the common case; the LQ tree may
+        differ (the paper's distributed configuration uses symmetric trees).
+    n_cores, grid_rows:
+        Forwarded to the trees (AUTO / hierarchical need them).
+    row_limit, col_limit:
+        Restrict the reduction to the top-left tile block; used by R-BIDIAG
+        to bidiagonalize the ``q x q`` R factor inside the original matrix.
+    skip_first_qr:
+        Skip the first QR step — correct only when tile column 0 is already
+        reduced below the diagonal (the R-BIDIAG case).
+    """
+    if qr_tree is None:
+        qr_tree = GreedyTree()
+    if lq_tree is None:
+        lq_tree = qr_tree
+    if isinstance(a, TiledMatrix):
+        executor: KernelExecutor = NumericExecutor(a)
+        result: Optional[TiledMatrix] = a
+    else:
+        executor = a
+        result = None
+
+    p = executor.p if row_limit is None else row_limit
+    q = executor.q if col_limit is None else col_limit
+    if p < q:
+        raise ValueError(
+            f"BIDIAG expects p >= q tiles (tall or square), got {p}x{q}; "
+            "transpose the matrix or use the LQ-first variant"
+        )
+
+    for k in range(q):
+        if not (k == 0 and skip_first_qr):
+            qr_step(
+                executor,
+                k,
+                qr_tree,
+                row_limit=p,
+                col_limit=q,
+                n_cores=n_cores,
+                grid_rows=grid_rows,
+                check_plan=check_plan,
+            )
+        if k < q - 1:
+            lq_step(
+                executor,
+                k,
+                lq_tree,
+                row_limit=p,
+                col_limit=q,
+                n_cores=n_cores,
+                grid_rows=grid_rows,
+                check_plan=check_plan,
+            )
+    return result

@@ -1,0 +1,139 @@
+"""BND2BD: reduce a band (upper, bandwidth ``nb``) matrix to bidiagonal form.
+
+This is the second stage of the two-stage approach (Großer & Lang; PLASMA's
+``BND2BD``): the band produced by GE2BND is reduced to a proper bidiagonal
+matrix by *bulge chasing* with Givens rotations.  Each band element beyond
+the first superdiagonal is annihilated by a column rotation whose fill-in
+(a bulge) is chased down and off the matrix by alternating row and column
+rotations.  The stage performs ``O(n^2 b)`` flops on an ``O(n b)`` data
+footprint — much less work than GE2BND but memory-bound, which is why the
+paper keeps it on a single node.
+
+The implementation operates on a dense copy for indexing simplicity (the
+matrices handed to the *numeric* layer are moderate) but only ever touches
+the banded region plus the transient bulge, so its operation count matches
+the real algorithm; the runtime simulator uses the analytic cost from
+:mod:`repro.models.flops`, not this code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.band import BandBidiagonal
+
+
+def _givens(f: float, g: float) -> Tuple[float, float, float]:
+    """Return ``(c, s, r)`` such that ``[c s; -s c]^T [f; g] = [r; 0]``.
+
+    Conventions match the rotations used below: combining two columns
+    ``(c1, c2)`` as ``new1 = c*c1 + s*c2``, ``new2 = -s*c1 + c*c2`` zeroes
+    the ``g`` entry, and likewise for rows.
+    """
+    if g == 0.0:
+        return 1.0, 0.0, f
+    if f == 0.0:
+        return 0.0, 1.0, g
+    r = float(np.hypot(f, g))
+    return f / r, g / r, r
+
+
+def _rotate_cols(b: np.ndarray, c1: int, c2: int, c: float, s: float, row_hi: int) -> None:
+    """Apply a right Givens rotation to columns ``(c1, c2)`` for rows ``[0, row_hi]``."""
+    col1 = b[: row_hi + 1, c1].copy()
+    col2 = b[: row_hi + 1, c2].copy()
+    b[: row_hi + 1, c1] = c * col1 + s * col2
+    b[: row_hi + 1, c2] = -s * col1 + c * col2
+
+
+def _rotate_rows(b: np.ndarray, r1: int, r2: int, c: float, s: float, col_lo: int) -> None:
+    """Apply a left Givens rotation to rows ``(r1, r2)`` for columns ``[col_lo, n)``."""
+    row1 = b[r1, col_lo:].copy()
+    row2 = b[r2, col_lo:].copy()
+    b[r1, col_lo:] = c * row1 + s * row2
+    b[r2, col_lo:] = -s * row1 + c * row2
+
+
+def band_to_bidiagonal(
+    band: "BandBidiagonal | np.ndarray",
+    bandwidth: Optional[int] = None,
+    *,
+    zero_tol: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reduce an upper-banded matrix to upper bidiagonal form.
+
+    Parameters
+    ----------
+    band:
+        Either a :class:`~repro.algorithms.band.BandBidiagonal` or a dense
+        square array that is upper banded.
+    bandwidth:
+        Required when ``band`` is a dense array; ignored otherwise.
+    zero_tol:
+        Entries whose magnitude is at most ``zero_tol`` are treated as
+        already zero (skipping their annihilation).
+
+    Returns
+    -------
+    (d, e):
+        Main diagonal and superdiagonal of the bidiagonal factor.  Its
+        singular values equal those of the input band.
+    """
+    if isinstance(band, BandBidiagonal):
+        b = band.to_dense()
+        bw = band.bandwidth
+    else:
+        b = np.array(band, dtype=float, copy=True)
+        if b.ndim != 2 or b.shape[0] != b.shape[1]:
+            raise ValueError(f"expected a square matrix, got shape {b.shape}")
+        if bandwidth is None:
+            raise ValueError("bandwidth is required when passing a dense array")
+        bw = int(bandwidth)
+    n = b.shape[0]
+    if bw < 1:
+        raise ValueError("bandwidth must be >= 1")
+    if n == 1:
+        return np.array([b[0, 0]]), np.array([])
+    if bw == 1:
+        return np.diagonal(b).copy(), np.diagonal(b, offset=1).copy()
+
+    for i in range(n - 1):
+        # Annihilate the band elements of row i beyond the superdiagonal,
+        # rightmost first so earlier zeros are preserved.
+        for j in range(min(i + bw, n - 1), i + 1, -1):
+            if abs(b[i, j]) <= zero_tol:
+                continue
+            # Column rotation (j-1, j) zeroing b[i, j]; may create a
+            # subdiagonal bulge at (j, j-1).
+            c, s, _ = _givens(b[i, j - 1], b[i, j])
+            _rotate_cols(b, j - 1, j, c, s, row_hi=min(j, n - 1))
+            b[i, j] = 0.0
+
+            bulge_row, bulge_col = j, j - 1
+            while True:
+                if abs(b[bulge_row, bulge_col]) <= zero_tol:
+                    b[bulge_row, bulge_col] = 0.0
+                    break
+                # Row rotation (bulge_col, bulge_row) removing the
+                # subdiagonal bulge; may create an above-band bulge at
+                # (bulge_col, bulge_row + bw).
+                c, s, _ = _givens(b[bulge_col, bulge_col], b[bulge_row, bulge_col])
+                _rotate_rows(b, bulge_col, bulge_row, c, s, col_lo=bulge_col)
+                b[bulge_row, bulge_col] = 0.0
+
+                fill_row, fill_col = bulge_col, bulge_row + bw
+                if fill_col >= n or abs(b[fill_row, fill_col]) <= zero_tol:
+                    break
+                # Column rotation (fill_col-1, fill_col) removing the
+                # above-band bulge; may create the next subdiagonal bulge at
+                # (fill_col, fill_col - 1).
+                c, s, _ = _givens(b[fill_row, fill_col - 1], b[fill_row, fill_col])
+                _rotate_cols(b, fill_col - 1, fill_col, c, s, row_hi=min(fill_col, n - 1))
+                b[fill_row, fill_col] = 0.0
+                bulge_row, bulge_col = fill_col, fill_col - 1
+
+    d = np.diagonal(b).copy()
+    e = np.diagonal(b, offset=1).copy()
+    return d, e

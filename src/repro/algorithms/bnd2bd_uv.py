@@ -1,0 +1,141 @@
+"""BND2BD with accumulation of the orthogonal factors.
+
+Same bulge-chasing reduction as :mod:`repro.algorithms.bnd2bd`, but every
+Givens rotation is also applied to a pair of accumulators so that the
+orthogonal factors of the band reduction are available afterwards:
+
+``B_band = U2 · bidiag(d, e) · V2^T``
+
+This is the piece needed to extend the two-stage pipeline from singular
+values (GE2VAL) to singular vectors (GESVD): the paper lists that
+extension — applying all the "multi" steps in reverse on the vectors — as
+the main overhead of multi-step methods (Section II) and as future work for
+the distributed implementation (Section VII); here it lets us measure that
+overhead directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.band import BandBidiagonal
+from repro.algorithms.bnd2bd import _givens
+
+
+def _rotate_cols(b: np.ndarray, c1: int, c2: int, c: float, s: float, row_hi: int) -> None:
+    col1 = b[: row_hi + 1, c1].copy()
+    col2 = b[: row_hi + 1, c2].copy()
+    b[: row_hi + 1, c1] = c * col1 + s * col2
+    b[: row_hi + 1, c2] = -s * col1 + c * col2
+
+
+def _rotate_rows(b: np.ndarray, r1: int, r2: int, c: float, s: float, col_lo: int) -> None:
+    row1 = b[r1, col_lo:].copy()
+    row2 = b[r2, col_lo:].copy()
+    b[r1, col_lo:] = c * row1 + s * row2
+    b[r2, col_lo:] = -s * row1 + c * row2
+
+
+def _accumulate_left(u: np.ndarray, r1: int, r2: int, c: float, s: float) -> None:
+    """Fold a left rotation of rows ``(r1, r2)`` of ``B`` into ``U2``.
+
+    A left rotation ``B := M B`` with ``M = [[c, s], [-s, c]]`` contributes
+    ``U2 := U2 M^T``, i.e. the same ``(c, s)`` update applied to the columns
+    ``(r1, r2)`` of the accumulator.
+    """
+    col1 = u[:, r1].copy()
+    col2 = u[:, r2].copy()
+    u[:, r1] = c * col1 + s * col2
+    u[:, r2] = -s * col1 + c * col2
+
+
+def _accumulate_right(vt: np.ndarray, c1: int, c2: int, c: float, s: float) -> None:
+    """Fold a right rotation of columns ``(c1, c2)`` of ``B`` into ``V2^T``.
+
+    A right rotation ``B := B G`` with ``G = [[c, -s], [s, c]]`` contributes
+    ``V2^T := G^T V2^T``, i.e. the same ``(c, s)`` update applied to the rows
+    ``(c1, c2)`` of the accumulator.
+    """
+    row1 = vt[c1, :].copy()
+    row2 = vt[c2, :].copy()
+    vt[c1, :] = c * row1 + s * row2
+    vt[c2, :] = -s * row1 + c * row2
+
+
+def band_to_bidiagonal_uv(
+    band: "BandBidiagonal | np.ndarray",
+    bandwidth: Optional[int] = None,
+    *,
+    zero_tol: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Reduce an upper-banded matrix to bidiagonal form, with vectors.
+
+    Parameters
+    ----------
+    band:
+        A :class:`~repro.algorithms.band.BandBidiagonal` or a dense square
+        upper-banded array.
+    bandwidth:
+        Required when ``band`` is a dense array.
+    zero_tol:
+        Entries at most ``zero_tol`` in magnitude are treated as zero.
+
+    Returns
+    -------
+    (d, e, u2, v2t):
+        The bidiagonal diagonals and the ``n x n`` orthogonal accumulators
+        such that ``B_band = u2 · bidiag(d, e) · v2t``.
+    """
+    if isinstance(band, BandBidiagonal):
+        b = band.to_dense()
+        bw = band.bandwidth
+    else:
+        b = np.array(band, dtype=float, copy=True)
+        if b.ndim != 2 or b.shape[0] != b.shape[1]:
+            raise ValueError(f"expected a square matrix, got shape {b.shape}")
+        if bandwidth is None:
+            raise ValueError("bandwidth is required when passing a dense array")
+        bw = int(bandwidth)
+    n = b.shape[0]
+    if bw < 1:
+        raise ValueError("bandwidth must be >= 1")
+    u2 = np.eye(n)
+    v2t = np.eye(n)
+    if n == 1:
+        return np.array([b[0, 0]]), np.array([]), u2, v2t
+    if bw == 1:
+        return np.diagonal(b).copy(), np.diagonal(b, offset=1).copy(), u2, v2t
+
+    for i in range(n - 1):
+        for j in range(min(i + bw, n - 1), i + 1, -1):
+            if abs(b[i, j]) <= zero_tol:
+                continue
+            c, s, _ = _givens(b[i, j - 1], b[i, j])
+            _rotate_cols(b, j - 1, j, c, s, row_hi=min(j, n - 1))
+            _accumulate_right(v2t, j - 1, j, c, s)
+            b[i, j] = 0.0
+
+            bulge_row, bulge_col = j, j - 1
+            while True:
+                if abs(b[bulge_row, bulge_col]) <= zero_tol:
+                    b[bulge_row, bulge_col] = 0.0
+                    break
+                c, s, _ = _givens(b[bulge_col, bulge_col], b[bulge_row, bulge_col])
+                _rotate_rows(b, bulge_col, bulge_row, c, s, col_lo=bulge_col)
+                _accumulate_left(u2, bulge_col, bulge_row, c, s)
+                b[bulge_row, bulge_col] = 0.0
+
+                fill_row, fill_col = bulge_col, bulge_row + bw
+                if fill_col >= n or abs(b[fill_row, fill_col]) <= zero_tol:
+                    break
+                c, s, _ = _givens(b[fill_row, fill_col - 1], b[fill_row, fill_col])
+                _rotate_cols(b, fill_col - 1, fill_col, c, s, row_hi=min(fill_col, n - 1))
+                _accumulate_right(v2t, fill_col - 1, fill_col, c, s)
+                b[fill_row, fill_col] = 0.0
+                bulge_row, bulge_col = fill_col, fill_col - 1
+
+    d = np.diagonal(b).copy()
+    e = np.diagonal(b, offset=1).copy()
+    return d, e, u2, v2t

@@ -1,0 +1,101 @@
+"""One-sided Jacobi SVD.
+
+A compact, numerically robust SVD used for the *small* square factor that
+remains after the tiled reduction when singular vectors are requested
+(GESVD driver), and as an independent reference in tests.  One-sided Jacobi
+repeatedly orthogonalizes pairs of columns with plane rotations; on
+convergence the column norms are the singular values, the normalized
+columns form ``U`` and the accumulated rotations form ``V``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def jacobi_svd(
+    a: np.ndarray,
+    *,
+    tol: float = 1e-13,
+    max_sweeps: int = 60,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Singular value decomposition ``a = U diag(s) V^T`` by one-sided Jacobi.
+
+    Parameters
+    ----------
+    a:
+        An ``m x n`` matrix with ``m >= n``.
+    tol:
+        Convergence threshold on the normalized off-diagonal inner products.
+    max_sweeps:
+        Maximum number of full sweeps (raises ``RuntimeError`` beyond).
+
+    Returns
+    -------
+    (u, s, vt):
+        ``u`` is ``m x n`` with orthonormal columns, ``s`` the singular
+        values in descending order, ``vt`` the ``n x n`` transposed right
+        singular vectors.
+    """
+    a = np.array(a, dtype=float, copy=True)
+    if a.ndim != 2:
+        raise ValueError("expected a 2-D array")
+    m, n = a.shape
+    if m < n:
+        raise ValueError(f"expected m >= n, got {m}x{n}; pass the transpose instead")
+    v = np.eye(n)
+    if n == 0:
+        return np.zeros((m, 0)), np.array([]), np.zeros((0, 0))
+
+    for _ in range(max_sweeps):
+        off = 0.0
+        for p in range(n - 1):
+            for q in range(p + 1, n):
+                app = float(a[:, p] @ a[:, p])
+                aqq = float(a[:, q] @ a[:, q])
+                apq = float(a[:, p] @ a[:, q])
+                scale = np.sqrt(app * aqq)
+                if scale == 0.0 or abs(apq) <= tol * scale:
+                    continue
+                off = max(off, abs(apq) / scale)
+                # Jacobi rotation that annihilates the (p, q) entry of A^T A.
+                zeta = (aqq - app) / (2.0 * apq)
+                t = np.sign(zeta) / (abs(zeta) + np.sqrt(1.0 + zeta * zeta))
+                if zeta == 0.0:
+                    t = 1.0
+                c = 1.0 / np.sqrt(1.0 + t * t)
+                s = c * t
+                ap = a[:, p].copy()
+                aq = a[:, q].copy()
+                a[:, p] = c * ap - s * aq
+                a[:, q] = s * ap + c * aq
+                vp = v[:, p].copy()
+                vq = v[:, q].copy()
+                v[:, p] = c * vp - s * vq
+                v[:, q] = s * vp + c * vq
+        if off <= tol:
+            break
+    else:
+        raise RuntimeError(f"one-sided Jacobi did not converge in {max_sweeps} sweeps")
+
+    s = np.sqrt(np.sum(a * a, axis=0))
+    order = np.argsort(s)[::-1]
+    s = s[order]
+    a = a[:, order]
+    v = v[:, order]
+    u = np.zeros((m, n))
+    for j in range(n):
+        if s[j] > 0:
+            u[:, j] = a[:, j] / s[j]
+        else:
+            # Zero singular value: pick any unit vector orthogonal to the
+            # previous columns (deterministic Gram-Schmidt on basis vectors).
+            e = np.zeros(m)
+            e[j % m] = 1.0
+            for i in range(j):
+                e -= (u[:, i] @ e) * u[:, i]
+            norm = np.linalg.norm(e)
+            u[:, j] = e / norm if norm > 0 else e
+    return u, s, v.T

@@ -1,0 +1,170 @@
+"""High-level SVD drivers: GE2BND, GE2VAL and GESVD.
+
+These are the user-facing entry points of the numeric layer.  They follow
+the paper's pipeline:
+
+* **GE2BND** — tiled reduction to band bidiagonal form, either BIDIAG or
+  R-BIDIAG, with any reduction tree;
+* **GE2VAL** — GE2BND + BND2BD (bulge chasing) + BD2VAL (bidiagonal QR
+  iteration): singular values only;
+* **GESVD** — singular values *and* vectors: GE2BND with transformation
+  logging, accumulation of the band factors, and a one-sided Jacobi SVD of
+  the remaining small square factor.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.algorithms.accumulate import accumulate_orthogonal_factors
+from repro.algorithms.band import BandBidiagonal, extract_band
+from repro.algorithms.bd2val import bidiagonal_singular_values
+from repro.algorithms.bidiag import bidiag_ge2bnd
+from repro.algorithms.bnd2bd import band_to_bidiagonal
+from repro.algorithms.executor import NumericExecutor
+from repro.algorithms.jacobi import jacobi_svd
+from repro.algorithms.rbidiag import rbidiag_ge2bnd
+from repro.tiles.matrix import TiledMatrix
+from repro.trees import GreedyTree, make_tree
+from repro.trees.base import ReductionTree
+
+ArrayOrTiled = Union[np.ndarray, TiledMatrix]
+
+
+def _as_tiled(a: ArrayOrTiled, tile_size: Optional[int]) -> TiledMatrix:
+    if isinstance(a, TiledMatrix):
+        return a
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2:
+        raise ValueError("expected a 2-D array")
+    if tile_size is None:
+        # Aim for a handful of tiles in the smallest dimension by default.
+        tile_size = max(1, min(a.shape) // 4) or 1
+    return TiledMatrix.from_dense(a, tile_size)
+
+
+def _resolve_tree(tree: Union[str, ReductionTree, None], n_cores: int) -> ReductionTree:
+    if tree is None:
+        return GreedyTree()
+    if isinstance(tree, str):
+        if tree.lower() == "auto":
+            return make_tree("auto", n_cores=n_cores)
+        return make_tree(tree)
+    return tree
+
+
+def _choose_variant(variant: str, p: int, q: int) -> str:
+    """Resolve ``variant='auto'`` using Chan's flop crossover ``m >= 5n/3``.
+
+    At the tile level the crossover translates to ``p >= 5q/3``; below it
+    BIDIAG performs fewer flops, above it R-BIDIAG does.
+    """
+    if variant != "auto":
+        return variant
+    return "rbidiag" if 3 * p >= 5 * q else "bidiag"
+
+
+def ge2bnd(
+    a: ArrayOrTiled,
+    *,
+    tile_size: Optional[int] = None,
+    tree: Union[str, ReductionTree, None] = None,
+    variant: str = "auto",
+    n_cores: int = 1,
+    log_transformations: bool = False,
+) -> Tuple[BandBidiagonal, TiledMatrix, NumericExecutor]:
+    """Reduce ``a`` to band bidiagonal form (GE2BND).
+
+    Parameters
+    ----------
+    a:
+        Dense ``m x n`` array (``m >= n``) or an already tiled matrix.
+    tile_size:
+        Tile size ``nb`` used when tiling a dense input.
+    tree:
+        Reduction tree (name or instance); default GREEDY.
+    variant:
+        ``"bidiag"``, ``"rbidiag"`` or ``"auto"`` (Chan's ``m >= 5n/3``
+        flop crossover decides).
+    n_cores:
+        Only forwarded to the AUTO tree's parallelism heuristic.
+    log_transformations:
+        Keep the orthogonal transformations for later accumulation (GESVD).
+
+    Returns
+    -------
+    (band, matrix, executor):
+        The packed band, the reduced tiled matrix and the executor (which
+        carries the transformation log when requested).
+    """
+    matrix = _as_tiled(a, tile_size)
+    if matrix.m < matrix.n:
+        raise ValueError(
+            f"GE2BND expects m >= n, got {matrix.m}x{matrix.n}; pass the transpose"
+        )
+    tree_obj = _resolve_tree(tree, n_cores)
+    variant = _choose_variant(variant.lower(), matrix.p, matrix.q)
+    executor = NumericExecutor(matrix, log_transformations=log_transformations)
+    if variant == "bidiag":
+        bidiag_ge2bnd(executor, tree_obj, n_cores=n_cores)
+    elif variant == "rbidiag":
+        rbidiag_ge2bnd(executor, tree_obj, n_cores=n_cores)
+    else:
+        raise ValueError(f"unknown variant {variant!r} (use 'bidiag', 'rbidiag' or 'auto')")
+    band = extract_band(matrix)
+    return band, matrix, executor
+
+
+def ge2val(
+    a: ArrayOrTiled,
+    *,
+    tile_size: Optional[int] = None,
+    tree: Union[str, ReductionTree, None] = None,
+    variant: str = "auto",
+    n_cores: int = 1,
+) -> np.ndarray:
+    """Singular values of ``a`` via the full tiled pipeline.
+
+    GE2BND (BIDIAG or R-BIDIAG) → BND2BD (bulge chasing) → BD2VAL
+    (bidiagonal QR iteration).  Returns the singular values in descending
+    order.
+    """
+    band, _matrix, _executor = ge2bnd(
+        a, tile_size=tile_size, tree=tree, variant=variant, n_cores=n_cores
+    )
+    d, e = band_to_bidiagonal(band)
+    return bidiagonal_singular_values(d, e)
+
+
+def gesvd(
+    a: ArrayOrTiled,
+    *,
+    tile_size: Optional[int] = None,
+    tree: Union[str, ReductionTree, None] = None,
+    variant: str = "auto",
+    n_cores: int = 1,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full SVD ``a = U diag(s) V^T`` using the tiled reduction.
+
+    The tiled GE2BND stage is run with transformation logging; the logged
+    reflectors are accumulated into the band factors ``U1`` / ``V1`` and the
+    remaining small ``n x n`` band matrix is decomposed with a one-sided
+    Jacobi SVD.  Returns ``(u, s, vt)`` with ``u`` of shape ``m x n``,
+    ``s`` descending and ``vt`` of shape ``n x n``.
+    """
+    band, matrix, executor = ge2bnd(
+        a,
+        tile_size=tile_size,
+        tree=tree,
+        variant=variant,
+        n_cores=n_cores,
+        log_transformations=True,
+    )
+    u1, v1 = accumulate_orthogonal_factors(matrix.layout, executor.transform_log)
+    n = matrix.n
+    u2, s, v2t = jacobi_svd(band.to_dense())
+    u = u1[:, :n] @ u2
+    vt = v2t @ v1.T
+    return u, s, vt

@@ -1,0 +1,109 @@
+"""Tiled LQ factorization (Algorithm 2 of the paper, used by BIDIAG).
+
+``lq_step(k)`` performs the column-oriented eliminations
+``col-elim(j, piv(j, k), k)`` that zero the tiles to the right of the
+superdiagonal in tile row ``k`` and update the tile rows below.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.algorithms.executor import KernelExecutor, NumericExecutor
+from repro.tiles.matrix import TiledMatrix
+from repro.trees import FlatTSTree
+from repro.trees.base import PanelContext, ReductionTree, validate_plan
+
+
+def lq_step(
+    executor: KernelExecutor,
+    k: int,
+    tree: ReductionTree,
+    *,
+    row_limit: Optional[int] = None,
+    col_limit: Optional[int] = None,
+    n_cores: int = 1,
+    grid_rows: int = 1,
+    check_plan: bool = False,
+    first_col: Optional[int] = None,
+) -> None:
+    """One LQ panel step ``LQ(k)``.
+
+    By default (``first_col=None``) the step reduces tile row ``k`` starting
+    at column ``k + 1`` — the superdiagonal stays, which is what the
+    bidiagonalization needs.  A standalone LQ factorization passes
+    ``first_col=k`` to reduce starting at the diagonal.
+    """
+    p = executor.p if row_limit is None else row_limit
+    q = executor.q if col_limit is None else col_limit
+    start = (k + 1) if first_col is None else first_col
+    if not (0 <= k < p):
+        raise ValueError(f"LQ step {k} out of range for a {p}x{q} tile matrix")
+    cols = q - start
+    if cols <= 0:
+        return
+    rows_remaining = p - k - 1
+    ctx = PanelContext(
+        rows=cols,
+        cols_remaining=rows_remaining,
+        row_offset=start,
+        n_cores=n_cores,
+        grid_rows=grid_rows,
+    )
+    plan = tree.plan(ctx)
+    if check_plan:
+        validate_plan(plan, cols)
+
+    # Triangularize (lower) the required columns and update the rows below.
+    for local in plan.geqrt_rows:
+        j = start + local
+        executor.gelqt(k, j)
+        for i in range(k + 1, p):
+            executor.unmlq(k, j, i)
+
+    # Column eliminations and the corresponding pair updates.
+    for e in plan.eliminations:
+        piv = start + e.killer
+        j = start + e.killed
+        if e.use_tt:
+            executor.ttlqt(piv, j, k)
+            for i in range(k + 1, p):
+                executor.ttmlq(piv, j, k, i)
+        else:
+            executor.tslqt(piv, j, k)
+            for i in range(k + 1, p):
+                executor.tsmlq(piv, j, k, i)
+
+
+def tiled_lq(
+    a: "TiledMatrix | KernelExecutor",
+    tree: Optional[ReductionTree] = None,
+    *,
+    n_cores: int = 1,
+    grid_rows: int = 1,
+    check_plan: bool = False,
+) -> "TiledMatrix | None":
+    """Full tiled LQ factorization ``A = L Q`` (in place when given a matrix).
+
+    The matrix ends lower trapezoidal: its strictly-upper tiles are zero.
+    """
+    if tree is None:
+        tree = FlatTSTree()
+    if isinstance(a, TiledMatrix):
+        executor: KernelExecutor = NumericExecutor(a)
+        result: Optional[TiledMatrix] = a
+    else:
+        executor = a
+        result = None
+    steps = min(executor.p, executor.q)
+    for k in range(steps):
+        lq_step(
+            executor,
+            k,
+            tree,
+            n_cores=n_cores,
+            grid_rows=grid_rows,
+            check_plan=check_plan,
+            first_col=k,
+        )
+    return result

@@ -1,0 +1,28 @@
+"""Closed-form critical paths (Section IV) and the BIDIAG / R-BIDIAG crossover."""
+
+from repro.analysis.formulas import (
+    qr_step_cp,
+    lq_step_cp,
+    bidiag_flatts_cp,
+    bidiag_flattt_cp,
+    bidiag_greedy_cp,
+    bidiag_cp,
+    rbidiag_cp,
+    rbidiag_greedy_cp,
+    greedy_asymptotic_cp,
+)
+from repro.analysis.crossover import crossover_ratio, crossover_table
+
+__all__ = [
+    "qr_step_cp",
+    "lq_step_cp",
+    "bidiag_flatts_cp",
+    "bidiag_flattt_cp",
+    "bidiag_greedy_cp",
+    "bidiag_cp",
+    "rbidiag_cp",
+    "rbidiag_greedy_cp",
+    "greedy_asymptotic_cp",
+    "crossover_ratio",
+    "crossover_table",
+]

@@ -1,0 +1,104 @@
+"""Numerical verification of the asymptotic results of Section IV.
+
+Theorem 1 of the paper states that for ``p = beta * q^(1+alpha)`` tiles with
+``0 <= alpha < 1``:
+
+* ``BIDIAG(p, q) / ((12 + 6 alpha) q log2 q)  ->  1``  as ``q -> inf``;
+* ``BIDIAG(p, q) / R-BIDIAG(p, q)            ->  1 + alpha / 2``.
+
+These helpers evaluate the closed-form critical paths on geometric sweeps
+of ``q`` and report how the measured ratios approach their limits, which is
+what ``benchmarks/bench_sec4_asymptotics.py`` prints.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.analysis.formulas import bidiag_greedy_cp, rbidiag_greedy_asymptotic_cp
+
+
+@dataclass(frozen=True)
+class AsymptoticPoint:
+    """One point of an asymptotic sweep.
+
+    Attributes
+    ----------
+    q, p:
+        Tile shape of the point (``p = round(beta * q^(1+alpha))``).
+    bidiag_cp:
+        Closed-form BIDIAG-GREEDY critical path.
+    rbidiag_cp:
+        Asymptotic R-BIDIAG-GREEDY critical path of Section IV-B
+        (``12 q log2 q + (42 - 12 log2 e) q``, valid for ``p = o(q^2)``).
+    normalized_bidiag:
+        ``bidiag_cp / ((12 + 6 alpha) q log2 q)`` — tends to 1.
+    ratio:
+        ``bidiag_cp / rbidiag_cp`` — tends to ``1 + alpha / 2``.
+    """
+
+    q: int
+    p: int
+    bidiag_cp: float
+    rbidiag_cp: float
+    normalized_bidiag: float
+    ratio: float
+
+
+def shape_for(q: int, alpha: float, beta: float = 1.0) -> int:
+    """Tile row count ``p = max(q, round(beta * q^(1+alpha)))``."""
+    if q < 2:
+        raise ValueError("q must be >= 2")
+    if alpha < 0:
+        raise ValueError("alpha must be >= 0")
+    if beta <= 0:
+        raise ValueError("beta must be > 0")
+    return max(q, int(round(beta * q ** (1.0 + alpha))))
+
+
+def asymptotic_sweep(
+    q_values: Sequence[int],
+    alpha: float,
+    beta: float = 1.0,
+) -> List[AsymptoticPoint]:
+    """Evaluate the Theorem-1 ratios on a sweep of ``q`` values."""
+    points: List[AsymptoticPoint] = []
+    for q in q_values:
+        p = shape_for(q, alpha, beta)
+        b = float(bidiag_greedy_cp(p, q))
+        r = float(rbidiag_greedy_asymptotic_cp(q))
+        denom = (12.0 + 6.0 * alpha) * q * math.log2(q)
+        points.append(
+            AsymptoticPoint(
+                q=q,
+                p=p,
+                bidiag_cp=b,
+                rbidiag_cp=r,
+                normalized_bidiag=b / denom if denom > 0 else float("nan"),
+                ratio=b / r if r > 0 else float("nan"),
+            )
+        )
+    return points
+
+
+def theorem1_limit_ratio(alpha: float) -> float:
+    """The limit of ``BIDIAG / R-BIDIAG`` for ``p = beta q^(1+alpha)``: ``1 + alpha/2``."""
+    if not (0.0 <= alpha < 1.0):
+        raise ValueError("Theorem 1 requires 0 <= alpha < 1")
+    return 1.0 + alpha / 2.0
+
+
+def convergence_trend(points: Sequence[AsymptoticPoint], attr: str) -> float:
+    """Signed change of ``attr`` between the first and last sweep point.
+
+    A negative value means the quantity is decreasing along the sweep.
+    Benchmarks use it to assert that the normalized critical path is
+    actually converging toward its limit.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two sweep points")
+    first = getattr(points[0], attr)
+    last = getattr(points[-1], attr)
+    return last - first

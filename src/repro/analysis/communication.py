@@ -1,0 +1,160 @@
+"""Communication-volume analysis for distributed runs.
+
+Section VI-D of the paper observes that the choice of the *top-level*
+(inter-node) reduction tree changes the communication volume: the greedy
+top tree "doubles the number of communications on square cases" compared to
+the flat tree, which is why the flat tree can win despite exposing less
+parallelism.  These tools quantify that trade-off:
+
+* :func:`communication_volume` counts, from a traced task graph and a
+  block-cyclic distribution, the inter-node messages the owner-computes
+  rule induces (one message per produced data item and destination node,
+  matching the runtime simulator's accounting);
+* :func:`communication_matrix` breaks the same count down by
+  (source node, destination node) pair;
+* :func:`panel_messages_estimate` gives the closed-form per-panel message
+  counts of the flat and binomial top trees used in the discussion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.dag.task import TaskGraph
+from repro.tiles.distribution import BlockCyclicDistribution
+
+
+@dataclass(frozen=True)
+class CommunicationStats:
+    """Inter-node communication induced by a task graph on a distribution.
+
+    Attributes
+    ----------
+    messages:
+        Number of distinct (producer task, destination node) transfers.
+    tile_transfers:
+        Same count — kept as an explicit alias because each message carries
+        exactly one tile in this model.
+    bytes_moved:
+        Total bytes moved for a given tile size (``messages * nb^2 * 8``).
+    per_node_sent:
+        Messages sent by each node (indexed by rank).
+    per_node_received:
+        Messages received by each node.
+    """
+
+    messages: int
+    tile_transfers: int
+    bytes_moved: int
+    per_node_sent: List[int]
+    per_node_received: List[int]
+
+
+def communication_volume(
+    graph: TaskGraph,
+    distribution: BlockCyclicDistribution,
+    *,
+    tile_size: int = 160,
+) -> CommunicationStats:
+    """Count the inter-node transfers of ``graph`` under ``distribution``.
+
+    A transfer happens when a task's output is consumed by a task mapped to
+    a different node; transfers of the same output to the same node are
+    counted once (the runtime caches remote tiles), mirroring the
+    accounting of :class:`repro.runtime.scheduler.ListScheduler`.
+    """
+    n_nodes = distribution.grid.size
+    owner = [distribution.owner(*t.owner_tile) for t in graph.tasks]
+    seen: set[Tuple[int, int]] = set()
+    sent = [0] * n_nodes
+    received = [0] * n_nodes
+    messages = 0
+    for src_id, dsts in graph.successors.items():
+        src_node = owner[src_id]
+        for dst_id in dsts:
+            dst_node = owner[dst_id]
+            if dst_node == src_node:
+                continue
+            key = (src_id, dst_node)
+            if key in seen:
+                continue
+            seen.add(key)
+            messages += 1
+            sent[src_node] += 1
+            received[dst_node] += 1
+    tile_bytes = tile_size * tile_size * 8
+    return CommunicationStats(
+        messages=messages,
+        tile_transfers=messages,
+        bytes_moved=messages * tile_bytes,
+        per_node_sent=sent,
+        per_node_received=received,
+    )
+
+
+def communication_matrix(
+    graph: TaskGraph,
+    distribution: BlockCyclicDistribution,
+) -> List[List[int]]:
+    """Message counts per (source node, destination node) pair."""
+    n_nodes = distribution.grid.size
+    owner = [distribution.owner(*t.owner_tile) for t in graph.tasks]
+    matrix = [[0] * n_nodes for _ in range(n_nodes)]
+    seen: set[Tuple[int, int]] = set()
+    for src_id, dsts in graph.successors.items():
+        src_node = owner[src_id]
+        for dst_id in dsts:
+            dst_node = owner[dst_id]
+            if dst_node == src_node:
+                continue
+            key = (src_id, dst_node)
+            if key in seen:
+                continue
+            seen.add(key)
+            matrix[src_node][dst_node] += 1
+    return matrix
+
+
+def panel_messages_estimate(grid_rows: int, top: str) -> int:
+    """Closed-form number of inter-node eliminations of one panel step.
+
+    With ``R`` process-grid rows, the top-level tree combines ``R`` per-node
+    heads; every top-level elimination moves (at least) one tile across the
+    network.
+
+    * flat top tree: ``R - 1`` eliminations, all into the head row —
+      sequential, but the minimum possible volume;
+    * greedy/binomial top tree: also ``R - 1`` eliminations, but each round
+      sends its tiles concurrently *and* the trailing-matrix updates of
+      every elimination pair cross the network too, which is what doubles
+      the observed communication volume on square matrices (Section VI-D).
+      The estimate returned for ``"greedy"`` therefore counts
+      ``2 (R - 1)`` tile movements per panel.
+    """
+    if grid_rows < 1:
+        raise ValueError("grid_rows must be >= 1")
+    top = top.strip().lower()
+    if top == "flat":
+        return max(grid_rows - 1, 0)
+    if top in ("greedy", "binomial", "fibonacci"):
+        return 2 * max(grid_rows - 1, 0)
+    raise ValueError(f"unknown top tree {top!r}")
+
+
+def communication_ratio(
+    graph_a: TaskGraph,
+    graph_b: TaskGraph,
+    distribution: BlockCyclicDistribution,
+) -> float:
+    """Ratio of message counts of two task graphs under the same distribution.
+
+    Used by the ablation benchmarks to verify the paper's "greedy doubles
+    the communications of flat" observation at the DAG level.
+    """
+    a = communication_volume(graph_a, distribution).messages
+    b = communication_volume(graph_b, distribution).messages
+    if b == 0:
+        return math.inf if a > 0 else 1.0
+    return a / b

@@ -1,0 +1,173 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main entry points
+without writing any Python:
+
+* ``list``            — list the registered paper experiments;
+* ``run <key>``       — run one experiment and print / save its rows;
+* ``critical-path``   — closed-form and DAG-measured critical paths;
+* ``simulate``        — one runtime simulation (GE2BND or GE2VAL);
+* ``svd``             — compute singular values of a random or ``.npy`` matrix
+  with the numeric tiled pipeline and compare against ``numpy.linalg.svd``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tiled bidiagonalization / R-bidiagonalization reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the registered paper experiments")
+
+    run = sub.add_parser("run", help="run a registered experiment")
+    run.add_argument("experiment", help="experiment key (see 'repro list')")
+    run.add_argument("--csv", help="write the result rows to this CSV file")
+    run.add_argument("--json", help="write the result rows to this JSON file")
+    run.add_argument("--markdown", action="store_true", help="print a markdown table")
+
+    cp = sub.add_parser("critical-path", help="critical paths of BIDIAG / R-BIDIAG")
+    cp.add_argument("p", type=int, help="tile rows")
+    cp.add_argument("q", type=int, help="tile columns")
+    cp.add_argument("--tree", default="greedy", choices=["flatts", "flattt", "greedy"])
+    cp.add_argument("--algorithm", default="bidiag", choices=["bidiag", "rbidiag"])
+
+    sim = sub.add_parser("simulate", help="simulate one GE2BND / GE2VAL run")
+    sim.add_argument("m", type=int, help="matrix rows")
+    sim.add_argument("n", type=int, help="matrix columns")
+    sim.add_argument("--nodes", type=int, default=1)
+    sim.add_argument("--cores", type=int, default=24)
+    sim.add_argument("--nb", type=int, default=160)
+    sim.add_argument("--tree", default="auto", choices=["flatts", "flattt", "greedy", "auto"])
+    sim.add_argument("--algorithm", default="auto", choices=["auto", "bidiag", "rbidiag"])
+    sim.add_argument("--ge2val", action="store_true", help="include BND2BD + BD2VAL stages")
+
+    svd = sub.add_parser("svd", help="singular values via the numeric tiled pipeline")
+    svd.add_argument("--input", help=".npy file holding the matrix (random if omitted)")
+    svd.add_argument("--m", type=int, default=120)
+    svd.add_argument("--n", type=int, default=80)
+    svd.add_argument("--tile-size", type=int, default=20)
+    svd.add_argument("--tree", default="greedy")
+    svd.add_argument("--variant", default="auto", choices=["auto", "bidiag", "rbidiag"])
+    svd.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.experiments.registry import list_experiments
+
+    for exp in list_experiments():
+        print(f"{exp.key:22s}  {exp.paper_ref:24s}  {exp.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import format_rows
+    from repro.experiments.registry import run_experiment
+    from repro.utils.io import rows_to_markdown, save_rows_csv, save_rows_json
+
+    try:
+        rows = run_experiment(args.experiment)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.markdown:
+        print(rows_to_markdown(rows))
+    else:
+        print(format_rows(rows))
+    if args.csv:
+        save_rows_csv(rows, args.csv)
+        print(f"wrote {len(rows)} rows to {args.csv}")
+    if args.json:
+        save_rows_json(rows, args.json)
+        print(f"wrote {len(rows)} rows to {args.json}")
+    return 0
+
+
+def _cmd_critical_path(args: argparse.Namespace) -> int:
+    from repro.analysis.formulas import bidiag_cp, rbidiag_cp
+    from repro.dag.critical_path import critical_path_length
+    from repro.dag.tracer import trace_bidiag, trace_rbidiag
+    from repro.trees import make_tree
+
+    tree = make_tree(args.tree)
+    if args.algorithm == "bidiag":
+        formula = bidiag_cp(args.p, args.q, args.tree)
+        measured = critical_path_length(trace_bidiag(args.p, args.q, tree))
+    else:
+        formula = rbidiag_cp(args.p, args.q, args.tree)
+        measured = critical_path_length(trace_rbidiag(args.p, args.q, tree))
+    print(f"algorithm      : {args.algorithm}")
+    print(f"tree           : {args.tree}")
+    print(f"tiles          : {args.p} x {args.q}")
+    print(f"closed form    : {formula}")
+    print(f"measured (DAG) : {measured:.0f}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.runtime.machine import Machine
+    from repro.runtime.simulator import simulate_ge2bnd, simulate_ge2val
+
+    machine = Machine(n_nodes=args.nodes, cores_per_node=args.cores, tile_size=args.nb)
+    if args.ge2val:
+        result = simulate_ge2val(args.m, args.n, machine, tree=args.tree, algorithm=args.algorithm)
+    else:
+        algorithm = args.algorithm if args.algorithm != "auto" else (
+            "rbidiag" if 3 * args.m >= 5 * args.n else "bidiag"
+        )
+        result = simulate_ge2bnd(args.m, args.n, machine, tree=args.tree, algorithm=algorithm)
+    print(result)
+    print(f"tasks          : {result.n_tasks}")
+    print(f"messages       : {result.messages}")
+    print(f"time (s)       : {result.time_seconds:.4f}")
+    print(f"GFlop/s        : {result.gflops:.1f}")
+    return 0
+
+
+def _cmd_svd(args: argparse.Namespace) -> int:
+    from repro.algorithms.svd import ge2val
+
+    if args.input:
+        a = np.load(args.input)
+    else:
+        rng = np.random.default_rng(args.seed)
+        a = rng.standard_normal((args.m, args.n))
+    sv = ge2val(a, tile_size=args.tile_size, tree=args.tree, variant=args.variant)
+    ref = np.linalg.svd(a, compute_uv=False)
+    err = float(np.max(np.abs(sv - ref)) / ref[0])
+    print(f"matrix          : {a.shape[0]} x {a.shape[1]}")
+    print(f"largest sigma   : {sv[0]:.6e}")
+    print(f"smallest sigma  : {sv[-1]:.6e}")
+    print(f"max rel error   : {err:.3e} (vs numpy.linalg.svd)")
+    return 0 if err < 1e-8 else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "critical-path":
+        return _cmd_critical_path(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "svd":
+        return _cmd_svd(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,168 @@
+"""Structural analysis of task graphs.
+
+These tools quantify *why* a reduction tree behaves the way it does:
+
+* **work / span / average parallelism** — the classical DAG metrics; the
+  span (critical path) is what Section IV of the paper analyses, the
+  average parallelism bounds the core count beyond which adding resources
+  cannot help;
+* **parallelism profile** — how many tasks are simultaneously runnable over
+  (weighted) time under an ASAP schedule with unbounded resources; the
+  FLATTS profile is flat and low, the GREEDY profile has tall spikes, which
+  is exactly the trade-off the AUTO tree balances;
+* **kernel and step breakdowns** — where the work goes (panel vs update
+  kernels, QR vs LQ steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dag.critical_path import critical_path_length
+from repro.dag.task import TaskGraph
+from repro.kernels.costs import KernelName
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a task graph.
+
+    Attributes
+    ----------
+    n_tasks, n_edges:
+        Number of tasks and dependency edges.
+    work:
+        Total weight (units of ``nb^3 / 3`` flops) — sequential time.
+    span:
+        Critical-path weight — time with unbounded resources.
+    average_parallelism:
+        ``work / span``; above this core count speedup saturates.
+    max_in_degree, max_out_degree:
+        Largest dependency fan-in / fan-out of any task.
+    n_sources, n_sinks:
+        Tasks without predecessors / successors.
+    """
+
+    n_tasks: int
+    n_edges: int
+    work: float
+    span: float
+    average_parallelism: float
+    max_in_degree: int
+    max_out_degree: int
+    n_sources: int
+    n_sinks: int
+
+
+def graph_stats(graph: TaskGraph) -> GraphStats:
+    """Compute the :class:`GraphStats` of a task graph."""
+    work = float(graph.total_weight())
+    span = critical_path_length(graph)
+    in_deg = [len(graph.predecessors[t.id]) for t in graph.tasks]
+    out_deg = [len(graph.successors[t.id]) for t in graph.tasks]
+    return GraphStats(
+        n_tasks=len(graph),
+        n_edges=graph.n_edges,
+        work=work,
+        span=span,
+        average_parallelism=work / span if span > 0 else 0.0,
+        max_in_degree=max(in_deg, default=0),
+        max_out_degree=max(out_deg, default=0),
+        n_sources=len(graph.sources()),
+        n_sinks=len(graph.sinks()),
+    )
+
+
+def parallelism_profile(graph: TaskGraph, n_bins: int = 50) -> List[Tuple[float, int]]:
+    """Number of concurrently running tasks over time (ASAP, unbounded cores).
+
+    Every task starts as soon as its predecessors finish (weights are the
+    Table-I units).  The profile is sampled at ``n_bins`` evenly spaced
+    points of the span and returned as ``(time, active_tasks)`` pairs.
+    """
+    if len(graph) == 0:
+        return []
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    start = [0.0] * len(graph)
+    finish = [0.0] * len(graph)
+    for tid in graph.topological_order():
+        s = 0.0
+        for pred in graph.predecessors[tid]:
+            if finish[pred] > s:
+                s = finish[pred]
+        start[tid] = s
+        finish[tid] = s + float(graph.tasks[tid].weight)
+    span = max(finish)
+    if span <= 0:
+        return [(0.0, len(graph))]
+    profile: List[Tuple[float, int]] = []
+    for b in range(n_bins):
+        t = span * (b + 0.5) / n_bins
+        active = sum(1 for tid in range(len(graph)) if start[tid] <= t < finish[tid])
+        profile.append((t, active))
+    return profile
+
+
+def max_parallelism(graph: TaskGraph, n_bins: int = 200) -> int:
+    """Peak of the :func:`parallelism_profile` (sampled)."""
+    profile = parallelism_profile(graph, n_bins=n_bins)
+    return max((active for _, active in profile), default=0)
+
+
+def kernel_breakdown(graph: TaskGraph) -> Dict[str, Dict[str, float]]:
+    """Per-kernel task counts and work shares.
+
+    Returns ``{kernel_name: {"count": ..., "work": ..., "work_fraction": ...}}``.
+    """
+    total = float(graph.total_weight())
+    out: Dict[str, Dict[str, float]] = {}
+    for task in graph.tasks:
+        entry = out.setdefault(task.kernel.value, {"count": 0.0, "work": 0.0})
+        entry["count"] += 1
+        entry["work"] += float(task.weight)
+    for entry in out.values():
+        entry["work_fraction"] = entry["work"] / total if total > 0 else 0.0
+    return out
+
+
+def ts_tt_work_split(graph: TaskGraph) -> Tuple[float, float]:
+    """Fractions of the update work done by TS kernels vs TT kernels.
+
+    The paper's AUTO tree exists because TS updates run near GEMM speed
+    while TT updates do not; this split quantifies how much of the work each
+    tree routes through the efficient kernels.
+    """
+    ts = tt = 0.0
+    for task in graph.tasks:
+        name = task.kernel.value
+        if name in ("TSMQR", "TSMLQ", "TSQRT", "TSLQT"):
+            ts += float(task.weight)
+        elif name in ("TTMQR", "TTMLQ", "TTQRT", "TTLQT"):
+            tt += float(task.weight)
+    total = ts + tt
+    if total <= 0:
+        return 0.0, 0.0
+    return ts / total, tt / total
+
+
+def step_breakdown(graph: TaskGraph) -> Dict[str, float]:
+    """Work per algorithm step (``QR(k)`` / ``LQ(k)``) as labelled by the tracer.
+
+    Tasks with an empty ``step`` label are aggregated under ``"(unlabelled)"``.
+    """
+    out: Dict[str, float] = {}
+    for task in graph.tasks:
+        key = task.step or "(unlabelled)"
+        out[key] = out.get(key, 0.0) + float(task.weight)
+    return out
+
+
+def memory_footprint_tiles(graph: TaskGraph) -> int:
+    """Number of distinct tiles touched by the graph (working-set size in tiles)."""
+    tiles = set()
+    for task in graph.tasks:
+        for _, i, j in task.touched:
+            tiles.add((i, j))
+    return len(tiles)

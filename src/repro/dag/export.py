@@ -1,0 +1,107 @@
+"""Export task graphs to standard formats (DOT, JSON).
+
+PaRSEC can dump the DAG it executes for inspection; these helpers provide
+the same capability for the traced task graphs, so that small instances can
+be rendered with Graphviz or post-processed by external tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.dag.task import TaskGraph
+
+#: Graphviz fill colours per kernel family (panel kernels darker).
+_KERNEL_COLORS: Dict[str, str] = {
+    "GEQRT": "#1f78b4",
+    "TSQRT": "#33a02c",
+    "TTQRT": "#e31a1c",
+    "UNMQR": "#a6cee3",
+    "TSMQR": "#b2df8a",
+    "TTMQR": "#fb9a99",
+    "GELQT": "#6a3d9a",
+    "TSLQT": "#ff7f00",
+    "TTLQT": "#b15928",
+    "UNMLQ": "#cab2d6",
+    "TSMLQ": "#fdbf6f",
+    "TTMLQ": "#ffff99",
+}
+
+
+def to_dot(
+    graph: TaskGraph,
+    *,
+    name: str = "taskgraph",
+    max_tasks: Optional[int] = 2000,
+    include_step: bool = True,
+) -> str:
+    """Render the task graph in Graphviz DOT format.
+
+    Parameters
+    ----------
+    graph:
+        The traced task graph.
+    name:
+        DOT graph name.
+    max_tasks:
+        Refuse to render graphs larger than this (DOT output becomes
+        unusable); pass ``None`` to disable the check.
+    include_step:
+        Append the algorithm step (``QR(k)`` / ``LQ(k)``) to each label.
+    """
+    if max_tasks is not None and len(graph) > max_tasks:
+        raise ValueError(
+            f"graph has {len(graph)} tasks, above the max_tasks={max_tasks} limit; "
+            "export a smaller instance or raise the limit explicitly"
+        )
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [style=filled, shape=box];"]
+    for task in graph.tasks:
+        kernel = task.kernel.value
+        color = _KERNEL_COLORS.get(kernel, "#cccccc")
+        label = f"{kernel}{task.params}"
+        if include_step and task.step:
+            label += f"\\n{task.step}"
+        lines.append(f'  t{task.id} [label="{label}", fillcolor="{color}"];')
+    for src, dsts in graph.successors.items():
+        for dst in dsts:
+            lines.append(f"  t{src} -> t{dst};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_json(graph: TaskGraph, *, indent: Optional[int] = None) -> str:
+    """Serialise the task graph as JSON (tasks + edges)."""
+    payload = {
+        "n_tasks": len(graph),
+        "n_edges": graph.n_edges,
+        "tasks": [
+            {
+                "id": task.id,
+                "kernel": task.kernel.value,
+                "params": list(task.params),
+                "weight": task.weight,
+                "owner_tile": list(task.owner_tile),
+                "step": task.step,
+                "reads": sorted([list(item) for item in task.reads]),
+                "writes": sorted([list(item) for item in task.writes]),
+            }
+            for task in graph.tasks
+        ],
+        "edges": [
+            [src, dst] for src, dsts in sorted(graph.successors.items()) for dst in sorted(dsts)
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def save_dot(graph: TaskGraph, path: str, **kwargs) -> None:
+    """Write the DOT rendering of ``graph`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(graph, **kwargs))
+
+
+def save_json(graph: TaskGraph, path: str, **kwargs) -> None:
+    """Write the JSON serialisation of ``graph`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_json(graph, **kwargs))

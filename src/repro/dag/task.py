@@ -1,0 +1,134 @@
+"""Task and task-graph containers.
+
+A :class:`TaskGraph` is the explicit form of the symbolic DAG a PaRSEC-like
+runtime would execute: one node per tile kernel, one edge per data
+dependency.  It is produced by the :class:`~repro.dag.tracer.TraceExecutor`
+and consumed by the critical-path engine and the runtime simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.kernels.costs import KernelName, kernel_weight
+
+#: A data item is one half of a tile: ("U", i, j) is the upper (R/L factor)
+#: part, ("L", i, j) the lower (reflector) part.  Splitting tiles this way
+#: reproduces PLASMA's dependency structure, where e.g. TSQRT only touches
+#: the R part of the pivot tile while UNMQR only reads its reflectors.
+DataItem = Tuple[str, int, int]
+
+
+@dataclass
+class Task:
+    """One tile kernel instance in the task graph.
+
+    Attributes
+    ----------
+    id:
+        Dense integer identifier (insertion order).
+    kernel:
+        Which tile kernel this task runs.
+    params:
+        The kernel's tile indices, as passed to the executor.
+    reads, writes:
+        Data items read / written (a data item is half a tile).
+    weight:
+        Critical-path weight in units of ``nb^3 / 3`` flops (Table I).
+    owner_tile:
+        Tile coordinate used by the owner-computes rule to map the task to
+        a node in distributed runs.
+    step:
+        The panel step (``QR(k)`` / ``LQ(k)``) the task belongs to, for
+        reporting purposes.
+    """
+
+    id: int
+    kernel: KernelName
+    params: Tuple[int, ...]
+    reads: FrozenSet[DataItem]
+    writes: FrozenSet[DataItem]
+    weight: int
+    owner_tile: Tuple[int, int]
+    step: str = ""
+
+    @property
+    def touched(self) -> FrozenSet[DataItem]:
+        """All data items the task accesses."""
+        return self.reads | self.writes
+
+
+class TaskGraph:
+    """A DAG of tile tasks with explicit dependency edges."""
+
+    def __init__(self) -> None:
+        self.tasks: List[Task] = []
+        self.successors: Dict[int, List[int]] = {}
+        self.predecessors: Dict[int, List[int]] = {}
+        self._edges: set[Tuple[int, int]] = set()
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    def add_task(self, task: Task) -> None:
+        """Append a task (its ``id`` must equal the current task count)."""
+        if task.id != len(self.tasks):
+            raise ValueError(
+                f"task ids must be dense and in insertion order; got {task.id}, "
+                f"expected {len(self.tasks)}"
+            )
+        self.tasks.append(task)
+        self.successors[task.id] = []
+        self.predecessors[task.id] = []
+
+    def add_edge(self, src: int, dst: int) -> None:
+        """Add a dependency edge ``src -> dst`` (idempotent, no self-loops)."""
+        if src == dst:
+            return
+        if (src, dst) in self._edges:
+            return
+        self._edges.add((src, dst))
+        self.successors[src].append(dst)
+        self.predecessors[dst].append(src)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._edges)
+
+    def sources(self) -> List[int]:
+        """Tasks with no predecessors."""
+        return [t.id for t in self.tasks if not self.predecessors[t.id]]
+
+    def sinks(self) -> List[int]:
+        """Tasks with no successors."""
+        return [t.id for t in self.tasks if not self.successors[t.id]]
+
+    def topological_order(self) -> List[int]:
+        """Task ids in a valid topological order.
+
+        Tasks are inserted in a sequentially consistent order by the tracer,
+        so insertion order is already topological; this method verifies that
+        property (cheap) and returns it.
+        """
+        for src, dst in self._edges:
+            if src >= dst:
+                raise RuntimeError(
+                    f"edge {src} -> {dst} violates insertion-order topology"
+                )
+        return [t.id for t in self.tasks]
+
+    def total_weight(self) -> int:
+        """Sum of all task weights (the sequential execution time)."""
+        return sum(t.weight for t in self.tasks)
+
+    def total_flops(self, nb: int) -> float:
+        """Total floating-point operations for tile size ``nb``."""
+        return self.total_weight() * (nb**3) / 3.0
+
+    def kernel_counts(self) -> Dict[KernelName, int]:
+        """Histogram of kernel types (useful in tests and reports)."""
+        counts: Dict[KernelName, int] = {}
+        for t in self.tasks:
+            counts[t.kernel] = counts.get(t.kernel, 0) + 1
+        return counts

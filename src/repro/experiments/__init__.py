@@ -1,0 +1,32 @@
+"""Experiment harness: one function per figure / table of the paper.
+
+Each function returns plain Python data (lists of dictionaries) so that the
+benchmarks under ``benchmarks/`` can both print the paper-style series and
+assert the qualitative claims (who wins, where the crossovers are).
+"""
+
+from repro.experiments.figures import (
+    fig2_ge2bnd_square,
+    fig2_ge2bnd_tall_skinny,
+    fig2_ge2val_comparison,
+    fig3_strong_scaling_ge2bnd,
+    fig3_strong_scaling_ge2val,
+    fig4_weak_scaling,
+    table1_kernel_costs,
+    critical_path_table,
+    crossover_study,
+    format_rows,
+)
+
+__all__ = [
+    "fig2_ge2bnd_square",
+    "fig2_ge2bnd_tall_skinny",
+    "fig2_ge2val_comparison",
+    "fig3_strong_scaling_ge2bnd",
+    "fig3_strong_scaling_ge2val",
+    "fig4_weak_scaling",
+    "table1_kernel_costs",
+    "critical_path_table",
+    "crossover_study",
+    "format_rows",
+]

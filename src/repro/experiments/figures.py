@@ -1,0 +1,330 @@
+"""Figure- and table-level experiment drivers.
+
+These functions regenerate the series of every figure and table in the
+paper's evaluation section using the runtime simulator and the competitor
+models.  Default problem sizes are scaled down (the paper's largest runs
+have millions of tile tasks, which a pure-Python simulator cannot sweep in
+a benchmark session); set the environment variable ``REPRO_FULL_SCALE=1``
+to use the paper's exact sizes.  The *shape* of every comparison (which
+tree/algorithm wins, where the crossovers sit) is what the benchmarks
+assert, and it is insensitive to this scaling.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.crossover import crossover_table
+from repro.analysis.formulas import (
+    bidiag_cp,
+    bidiag_flatts_cp,
+    bidiag_flattt_cp,
+    bidiag_greedy_cp,
+    rbidiag_cp,
+)
+from repro.dag.critical_path import critical_path_length
+from repro.dag.tracer import trace_bidiag, trace_rbidiag
+from repro.kernels.costs import KERNEL_WEIGHTS, KernelName
+from repro.models.competitors import COMPETITORS
+from repro.runtime.machine import Machine
+from repro.runtime.simulator import simulate_ge2bnd, simulate_ge2val
+from repro.trees import FlatTSTree, FlatTTTree, GreedyTree
+
+Row = Dict[str, object]
+
+
+def full_scale() -> bool:
+    """Whether the benchmarks should use the paper's exact problem sizes."""
+    return os.environ.get("REPRO_FULL_SCALE", "0") not in ("", "0", "false", "False")
+
+
+def format_rows(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) -> str:
+    """Format a list of result rows as an aligned text table."""
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), max(len(_fmt(r.get(c))) for r in rows)) for c in columns}
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    lines = [header, "-" * len(header)]
+    for r in rows:
+        lines.append("  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+# --------------------------------------------------------------------------- #
+# Table I
+# --------------------------------------------------------------------------- #
+def table1_kernel_costs() -> List[Row]:
+    """The kernel cost table (Table I), in units of ``nb^3/3`` flops."""
+    pairs = [
+        (KernelName.GEQRT, KernelName.UNMQR),
+        (KernelName.TSQRT, KernelName.TSMQR),
+        (KernelName.TTQRT, KernelName.TTMQR),
+    ]
+    rows: List[Row] = []
+    for panel, update in pairs:
+        rows.append(
+            {
+                "panel": panel.value,
+                "panel_cost": KERNEL_WEIGHTS[panel],
+                "update": update.value,
+                "update_cost": KERNEL_WEIGHTS[update],
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Section IV: critical paths and crossover
+# --------------------------------------------------------------------------- #
+def critical_path_table(shapes: Iterable[tuple] = ((4, 4), (8, 8), (16, 8), (32, 8), (16, 16))) -> List[Row]:
+    """Measured (DAG) vs closed-form critical paths for BIDIAG and R-BIDIAG."""
+    rows: List[Row] = []
+    trees = {
+        "flatts": (FlatTSTree(), bidiag_flatts_cp),
+        "flattt": (FlatTTTree(), bidiag_flattt_cp),
+        "greedy": (GreedyTree(), bidiag_greedy_cp),
+    }
+    for p, q in shapes:
+        for name, (tree, formula) in trees.items():
+            measured = critical_path_length(trace_bidiag(p, q, tree))
+            rows.append(
+                {
+                    "p": p,
+                    "q": q,
+                    "algorithm": "bidiag",
+                    "tree": name,
+                    "cp_measured": measured,
+                    "cp_formula": formula(p, q),
+                }
+            )
+            measured_r = critical_path_length(trace_rbidiag(p, q, tree))
+            rows.append(
+                {
+                    "p": p,
+                    "q": q,
+                    "algorithm": "rbidiag",
+                    "tree": name,
+                    "cp_measured": measured_r,
+                    "cp_formula": rbidiag_cp(p, q, name),
+                }
+            )
+    return rows
+
+
+def crossover_study(q_values: Sequence[int] = (4, 6, 8, 10, 12, 16)) -> List[Row]:
+    """The BIDIAG / R-BIDIAG crossover ratio ``delta_s(q)`` (Section IV-C)."""
+    rows: List[Row] = []
+    for point in crossover_table(list(q_values)):
+        rows.append(
+            {"q": point.q, "delta_s": point.delta_s, "p_at_crossover": point.p_at_crossover}
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2: shared memory
+# --------------------------------------------------------------------------- #
+TREES = ("flatts", "flattt", "greedy", "auto")
+
+
+def _default_machine(n_nodes: int = 1, cores: int = 24, nb: int = 160) -> Machine:
+    return Machine(n_nodes=n_nodes, cores_per_node=cores, tile_size=nb)
+
+
+def fig2_ge2bnd_square(
+    sizes: Optional[Sequence[int]] = None,
+    trees: Sequence[str] = TREES,
+    machine: Optional[Machine] = None,
+) -> List[Row]:
+    """Figure 2 (top-left): shared-memory GE2BND on square matrices."""
+    if machine is None:
+        machine = _default_machine()
+    if sizes is None:
+        sizes = (
+            (2500, 5000, 10000, 15000, 20000, 25000, 30000)
+            if full_scale()
+            else (2000, 4000, 6000, 8000, 10000)
+        )
+    rows: List[Row] = []
+    for mn in sizes:
+        for tree in trees:
+            sim = simulate_ge2bnd(mn, mn, machine, tree=tree, algorithm="bidiag")
+            rows.append({"m": mn, "n": mn, "tree": tree, "gflops": sim.gflops})
+    return rows
+
+
+def fig2_ge2bnd_tall_skinny(
+    n: int = 2000,
+    m_values: Optional[Sequence[int]] = None,
+    trees: Sequence[str] = TREES,
+    machine: Optional[Machine] = None,
+) -> List[Row]:
+    """Figure 2 (top-middle / top-right): GE2BND on tall-skinny matrices,
+    BIDIAG vs R-BIDIAG for every tree."""
+    if machine is None:
+        machine = _default_machine()
+    if m_values is None:
+        if n <= 2000:
+            m_values = (
+                (5000, 10000, 20000, 30000, 40000) if full_scale() else (4000, 8000, 16000, 32000)
+            )
+        else:
+            m_values = (
+                (20000, 40000, 60000, 80000, 100000) if full_scale() else (20000, 30000, 40000)
+            )
+    rows: List[Row] = []
+    for m in m_values:
+        for tree in trees:
+            for alg in ("bidiag", "rbidiag"):
+                sim = simulate_ge2bnd(m, n, machine, tree=tree, algorithm=alg)
+                rows.append(
+                    {"m": m, "n": n, "tree": tree, "algorithm": alg, "gflops": sim.gflops}
+                )
+    return rows
+
+
+def fig2_ge2val_comparison(
+    shapes: Optional[Sequence[tuple]] = None,
+    machine: Optional[Machine] = None,
+) -> List[Row]:
+    """Figure 2 (bottom row): GE2VAL, DPLASMA (best tree) vs competitors."""
+    if machine is None:
+        machine = _default_machine()
+    if shapes is None:
+        if full_scale():
+            shapes = [(10000, 10000), (20000, 20000), (30000, 30000), (20000, 2000), (40000, 2000)]
+        else:
+            shapes = [(4000, 4000), (8000, 8000), (16000, 2000), (30000, 2000)]
+    rows: List[Row] = []
+    for m, n in shapes:
+        dplasma = simulate_ge2val(m, n, machine, tree="auto")
+        rows.append({"m": m, "n": n, "library": "DPLASMA", "gflops": dplasma.gflops})
+        for name, model in COMPETITORS.items():
+            rows.append({"m": m, "n": n, "library": name, "gflops": model.gflops(m, n, machine)})
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3: distributed strong scaling
+# --------------------------------------------------------------------------- #
+def fig3_strong_scaling_ge2bnd(
+    m: int = 10000,
+    n: int = 10000,
+    node_counts: Sequence[int] = (1, 4, 9, 16, 25),
+    trees: Sequence[str] = TREES,
+    algorithm: str = "bidiag",
+    nb: int = 160,
+) -> List[Row]:
+    """Figure 3 (top row): distributed GE2BND strong scaling."""
+    rows: List[Row] = []
+    for nodes in node_counts:
+        machine = _default_machine(n_nodes=nodes, cores=23 if m == n else 24, nb=nb)
+        for tree in trees:
+            sim = simulate_ge2bnd(m, n, machine, tree=tree, algorithm=algorithm)
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "m": m,
+                    "n": n,
+                    "tree": tree,
+                    "algorithm": algorithm,
+                    "gflops": sim.gflops,
+                    "messages": sim.messages,
+                }
+            )
+    return rows
+
+
+def fig3_strong_scaling_ge2val(
+    m: int = 10000,
+    n: int = 10000,
+    node_counts: Sequence[int] = (1, 4, 9, 16, 25),
+    nb: int = 160,
+) -> List[Row]:
+    """Figure 3 (bottom row): distributed GE2VAL vs Elemental / ScaLAPACK."""
+    rows: List[Row] = []
+    for nodes in node_counts:
+        machine = _default_machine(n_nodes=nodes, cores=23 if m == n else 24, nb=nb)
+        dplasma = simulate_ge2val(m, n, machine, tree="auto")
+        rows.append({"nodes": nodes, "library": "DPLASMA", "gflops": dplasma.gflops})
+        for name in ("Elemental", "ScaLAPACK"):
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "library": name,
+                    "gflops": COMPETITORS[name].gflops(m, n, machine),
+                }
+            )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4: weak scaling
+# --------------------------------------------------------------------------- #
+def fig4_weak_scaling(
+    n: int = 2000,
+    rows_per_node: Optional[int] = None,
+    node_counts: Sequence[int] = (1, 2, 4, 8, 16, 25),
+    trees: Sequence[str] = TREES,
+    nb: int = 160,
+) -> List[Row]:
+    """Figure 4: weak scaling on tall-skinny matrices.
+
+    The paper grows the matrix as ``m = rows_per_node * nodes`` with
+    ``rows_per_node = 80,000`` for ``n = 2000`` and ``100,000`` for
+    ``n = 10,000``.  The scaled-down default divides those by 10.
+    """
+    if rows_per_node is None:
+        base = 80000 if n <= 2000 else 100000
+        rows_per_node = base if full_scale() else base // 10
+    rows: List[Row] = []
+    for nodes in node_counts:
+        m = rows_per_node * nodes
+        machine = _default_machine(n_nodes=nodes, cores=24, nb=nb)
+        for tree in trees:
+            sim = simulate_ge2bnd(m, n, machine, tree=tree, algorithm="rbidiag")
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "m": m,
+                    "n": n,
+                    "tree": tree,
+                    "stage": "ge2bnd",
+                    "gflops": sim.gflops,
+                }
+            )
+        ge2val = simulate_ge2val(m, n, machine, tree="auto")
+        rows.append(
+            {
+                "nodes": nodes,
+                "m": m,
+                "n": n,
+                "tree": "auto",
+                "stage": "ge2val",
+                "gflops": ge2val.gflops,
+                "efficiency": ge2val.gflops / (machine.peak_gflops),
+            }
+        )
+        for name in ("Elemental", "ScaLAPACK"):
+            g = COMPETITORS[name].gflops(m, n, machine)
+            rows.append(
+                {
+                    "nodes": nodes,
+                    "m": m,
+                    "n": n,
+                    "tree": name,
+                    "stage": "ge2val",
+                    "gflops": g,
+                    "efficiency": g / machine.peak_gflops,
+                }
+            )
+    return rows

@@ -1,0 +1,135 @@
+"""Registry of the paper's experiments.
+
+Maps a stable experiment identifier (``table1``, ``fig2-ge2bnd-square``, …)
+to the driver function of :mod:`repro.experiments.figures` that regenerates
+its data, together with a short description and the paper location.  Used
+by the command-line interface (``python -m repro run <experiment>``) and by
+the benchmark harness documentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import figures
+
+Row = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible experiment.
+
+    Attributes
+    ----------
+    key:
+        Stable identifier used on the command line.
+    paper_ref:
+        Where the experiment lives in the paper (table / figure / section).
+    description:
+        One-line summary of what it shows.
+    runner:
+        Zero-argument callable returning the result rows (scaled-down
+        defaults; ``REPRO_FULL_SCALE=1`` switches to the paper's sizes).
+    """
+
+    key: str
+    paper_ref: str
+    description: str
+    runner: Callable[[], List[Row]]
+
+
+def _experiments() -> List[Experiment]:
+    return [
+        Experiment(
+            key="table1",
+            paper_ref="Table I",
+            description="Tile kernel costs in units of nb^3/3 flops",
+            runner=figures.table1_kernel_costs,
+        ),
+        Experiment(
+            key="critical-paths",
+            paper_ref="Section IV-A/B",
+            description="Measured (DAG) vs closed-form critical paths for BIDIAG and R-BIDIAG",
+            runner=figures.critical_path_table,
+        ),
+        Experiment(
+            key="crossover",
+            paper_ref="Section IV-C",
+            description="BIDIAG / R-BIDIAG crossover ratio delta_s(q)",
+            runner=figures.crossover_study,
+        ),
+        Experiment(
+            key="fig2-ge2bnd-square",
+            paper_ref="Figure 2 (top-left)",
+            description="Shared-memory GE2BND GFlop/s on square matrices, four trees",
+            runner=figures.fig2_ge2bnd_square,
+        ),
+        Experiment(
+            key="fig2-ge2bnd-ts2000",
+            paper_ref="Figure 2 (top-middle)",
+            description="Shared-memory GE2BND on tall-skinny matrices, n=2000",
+            runner=lambda: figures.fig2_ge2bnd_tall_skinny(n=2000),
+        ),
+        Experiment(
+            key="fig2-ge2bnd-ts10000",
+            paper_ref="Figure 2 (top-right)",
+            description="Shared-memory GE2BND on tall-skinny matrices, n=10000",
+            runner=lambda: figures.fig2_ge2bnd_tall_skinny(n=10000),
+        ),
+        Experiment(
+            key="fig2-ge2val",
+            paper_ref="Figure 2 (bottom row)",
+            description="Shared-memory GE2VAL vs PLASMA / MKL / ScaLAPACK / Elemental",
+            runner=figures.fig2_ge2val_comparison,
+        ),
+        Experiment(
+            key="fig3-ge2bnd",
+            paper_ref="Figure 3 (top row)",
+            description="Distributed strong scaling of GE2BND (1-25 nodes)",
+            runner=figures.fig3_strong_scaling_ge2bnd,
+        ),
+        Experiment(
+            key="fig3-ge2val",
+            paper_ref="Figure 3 (bottom row)",
+            description="Distributed GE2VAL vs Elemental / ScaLAPACK",
+            runner=figures.fig3_strong_scaling_ge2val,
+        ),
+        Experiment(
+            key="fig4-weak-n2000",
+            paper_ref="Figure 4 (row 1)",
+            description="Weak scaling on (80000 x nodes) x 2000 matrices",
+            runner=lambda: figures.fig4_weak_scaling(n=2000),
+        ),
+        Experiment(
+            key="fig4-weak-n10000",
+            paper_ref="Figure 4 (row 2)",
+            description="Weak scaling on (100000 x nodes) x 10000 matrices",
+            runner=lambda: figures.fig4_weak_scaling(n=10000, node_counts=(1, 2, 4)),
+        ),
+    ]
+
+
+#: Key -> experiment mapping (stable iteration order).
+REGISTRY: Dict[str, Experiment] = {exp.key: exp for exp in _experiments()}
+
+
+def get_experiment(key: str) -> Experiment:
+    """Look up an experiment, raising ``KeyError`` with the known keys."""
+    try:
+        return REGISTRY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {key!r}; known experiments: {', '.join(sorted(REGISTRY))}"
+        ) from None
+
+
+def list_experiments() -> List[Experiment]:
+    """All registered experiments, in registry order."""
+    return list(REGISTRY.values())
+
+
+def run_experiment(key: str) -> List[Row]:
+    """Run one experiment and return its rows."""
+    return get_experiment(key).runner()

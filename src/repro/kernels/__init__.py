@@ -1,0 +1,70 @@
+"""Numerically exact tile kernels (compact-WY Householder) and their cost model.
+
+The QR kernels follow the PLASMA ``core_blas`` naming (Table I of the paper):
+
+===========  =====================================================
+``GEQRT``    QR factorization of a single tile (panel kernel)
+``UNMQR``    apply the GEQRT reflectors to a tile on the same row
+``TSQRT``    QR of a triangle stacked on top of a square tile
+``TSMQR``    apply the TSQRT reflectors to a pair of tiles
+``TTQRT``    QR of a triangle stacked on top of a triangle
+``TTMQR``    apply the TTQRT reflectors to a pair of tiles
+===========  =====================================================
+
+The LQ kernels (``GELQT`` / ``UNMLQ`` / ``TSLQT`` / ``TSMLQ`` / ``TTLQT`` /
+``TTMLQ``) are the exact column-wise counterparts and are implemented through
+the transpose duality ``LQ(A) == QR(A^T)^T``.
+"""
+
+from repro.kernels.householder import (
+    householder_vector,
+    build_t_factor,
+    qr_factor,
+    apply_q,
+    apply_qt,
+)
+from repro.kernels.qr_kernels import (
+    geqrt,
+    unmqr,
+    tsqrt,
+    tsmqr,
+    ttqrt,
+    ttmqr,
+    QRReflector,
+)
+from repro.kernels.lq_kernels import (
+    gelqt,
+    unmlq,
+    tslqt,
+    tsmlq,
+    ttlqt,
+    ttmlq,
+    LQReflector,
+)
+from repro.kernels.costs import KERNEL_WEIGHTS, kernel_weight, kernel_flops, KernelName
+
+__all__ = [
+    "householder_vector",
+    "build_t_factor",
+    "qr_factor",
+    "apply_q",
+    "apply_qt",
+    "geqrt",
+    "unmqr",
+    "tsqrt",
+    "tsmqr",
+    "ttqrt",
+    "ttmqr",
+    "QRReflector",
+    "gelqt",
+    "unmlq",
+    "tslqt",
+    "tsmlq",
+    "ttlqt",
+    "ttmlq",
+    "LQReflector",
+    "KERNEL_WEIGHTS",
+    "kernel_weight",
+    "kernel_flops",
+    "KernelName",
+]

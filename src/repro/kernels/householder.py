@@ -1,0 +1,147 @@
+"""Compact-WY Householder machinery.
+
+This module implements, from scratch, the LAPACK building blocks the tile
+kernels are made of:
+
+* :func:`householder_vector` — LAPACK ``larfg``: one elementary reflector;
+* :func:`qr_factor` — unblocked Householder QR of a (possibly rectangular)
+  block, returning the ``V`` / ``T`` compact-WY representation and ``R``;
+* :func:`build_t_factor` — LAPACK ``larft`` (forward, column-wise);
+* :func:`apply_q` / :func:`apply_qt` — LAPACK ``larfb``: apply
+  ``Q = I - V T V^T`` or its transpose to a block, from the left or right.
+
+Only NumPy is used; the implementation favours clarity over raw speed
+(tiles are small, ``nb x nb``) but applies reflectors in blocked form so the
+work is done by matrix-matrix products.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def householder_vector(x: np.ndarray) -> Tuple[np.ndarray, float, float]:
+    """Compute an elementary Householder reflector for the vector ``x``.
+
+    Returns ``(v, tau, beta)`` with ``v[0] == 1`` such that
+    ``(I - tau * v v^T) x = beta * e_1`` and ``|beta| == ||x||_2``.
+
+    Follows the sign convention of LAPACK ``dlarfg`` (``beta`` has the
+    opposite sign of ``x[0]``) which avoids cancellation.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("householder_vector expects a non-empty 1-D array")
+    alpha = x[0]
+    sigma = float(np.dot(x[1:], x[1:]))
+    v = x.copy()
+    v[0] = 1.0
+    if sigma == 0.0:
+        # x is already a multiple of e_1: no reflection needed.
+        return v, 0.0, float(alpha)
+    norm_x = np.sqrt(alpha * alpha + sigma)
+    beta = -norm_x if alpha >= 0 else norm_x
+    v0 = alpha - beta
+    v[1:] = x[1:] / v0
+    tau = (beta - alpha) / beta
+    return v, float(tau), float(beta)
+
+
+def build_t_factor(v: np.ndarray, taus: np.ndarray) -> np.ndarray:
+    """Build the upper-triangular ``T`` factor of the compact-WY form.
+
+    Given the ``m x k`` matrix of Householder vectors ``V`` (unit diagonal,
+    zero above) and their scalars ``tau``, returns the ``k x k`` upper
+    triangular ``T`` such that ``H_1 H_2 ... H_k = I - V T V^T``
+    (LAPACK ``dlarft``, direction *forward*, storage *column-wise*).
+    """
+    v = np.asarray(v, dtype=float)
+    taus = np.asarray(taus, dtype=float)
+    k = v.shape[1]
+    t = np.zeros((k, k))
+    for j in range(k):
+        t[j, j] = taus[j]
+        if j > 0 and taus[j] != 0.0:
+            # T[0:j, j] = -tau_j * T[0:j, 0:j] @ (V[:, 0:j]^T @ V[:, j])
+            w = v[:, :j].T @ v[:, j]
+            t[:j, j] = -taus[j] * (t[:j, :j] @ w)
+    return t
+
+
+def qr_factor(a: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unblocked Householder QR factorization ``A = Q R``.
+
+    Returns ``(V, T, R)`` where ``Q = I - V T V^T`` is ``m x m`` orthogonal,
+    ``V`` is ``m x k`` unit-lower-trapezoidal (``k = min(m, n)``) and ``R``
+    is the ``m x n`` upper-trapezoidal factor (zero below the diagonal).
+    """
+    a = np.array(a, dtype=float, copy=True)
+    if a.ndim != 2:
+        raise ValueError("qr_factor expects a 2-D array")
+    m, n = a.shape
+    k = min(m, n)
+    v = np.zeros((m, k))
+    taus = np.zeros(k)
+    for j in range(k):
+        vec, tau, beta = householder_vector(a[j:, j])
+        v[j:, j] = vec
+        taus[j] = tau
+        a[j, j] = beta
+        a[j + 1 :, j] = 0.0
+        if tau != 0.0 and j + 1 < n:
+            w = tau * (vec @ a[j:, j + 1 :])
+            a[j:, j + 1 :] -= np.outer(vec, w)
+    t = build_t_factor(v, taus)
+    return v, t, a
+
+
+def apply_qt(v: np.ndarray, t: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Apply ``Q^T = I - V T^T V^T`` to ``C`` from the left (in place on a copy)."""
+    c = np.array(c, dtype=float, copy=True)
+    w = v.T @ c
+    w = t.T @ w
+    c -= v @ w
+    return c
+
+
+def apply_q(v: np.ndarray, t: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Apply ``Q = I - V T V^T`` to ``C`` from the left (on a copy)."""
+    c = np.array(c, dtype=float, copy=True)
+    w = v.T @ c
+    w = t @ w
+    c -= v @ w
+    return c
+
+
+def apply_q_right(v: np.ndarray, t: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Apply ``Q = I - V T V^T`` to ``C`` from the right (on a copy)."""
+    c = np.array(c, dtype=float, copy=True)
+    w = c @ v
+    w = w @ t
+    c -= w @ v.T
+    return c
+
+
+def apply_qt_right(v: np.ndarray, t: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Apply ``Q^T = I - V T^T V^T`` to ``C`` from the right (on a copy)."""
+    c = np.array(c, dtype=float, copy=True)
+    w = c @ v
+    w = w @ t.T
+    c -= w @ v.T
+    return c
+
+
+def form_q(v: np.ndarray, t: np.ndarray, m: int | None = None) -> np.ndarray:
+    """Explicitly form the orthogonal factor ``Q = I - V T V^T``.
+
+    Mostly useful in tests and for accumulating singular vectors on small
+    problems; the tiled algorithms themselves never form ``Q`` explicitly.
+    """
+    rows = v.shape[0] if m is None else m
+    if rows < v.shape[0]:
+        raise ValueError("m must be at least the number of rows of V")
+    q = np.eye(rows)
+    q[: v.shape[0], : v.shape[0]] -= v @ t @ v.T
+    return q

@@ -1,0 +1,174 @@
+"""Unblocked Golub–Kahan bidiagonalization (LAPACK ``xGEBD2``).
+
+This is the classical one-stage GE2BD algorithm of Golub and Kahan [17]:
+alternate one left Householder reflector (zeroing a column below the
+diagonal) and one right Householder reflector (zeroing a row beyond the
+superdiagonal), one column/row at a time.  For an ``m x n`` matrix with
+``m >= n`` the result is the *upper* bidiagonal factor ``B`` with
+
+``A = U · B · V^T``
+
+where ``U`` (``m x m``) and ``V`` (``n x n``) are orthogonal.
+
+The tiled algorithms of the paper replace this column-at-a-time scheme with
+tile-level operations; this module is kept as the numerical reference
+baseline (its singular values must match the tiled pipeline's) and as the
+algorithmic model behind the ScaLAPACK / MKL competitor performance models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.householder import householder_vector
+
+
+@dataclass(frozen=True)
+class Gebd2Result:
+    """Result of the unblocked bidiagonalization.
+
+    Attributes
+    ----------
+    d:
+        Main diagonal of the bidiagonal factor (length ``n``).
+    e:
+        Superdiagonal (length ``n - 1``).
+    u:
+        Left orthogonal factor ``U`` (``m x m``), or ``None`` when vectors
+        were not requested.
+    vt:
+        Right orthogonal factor ``V^T`` (``n x n``), or ``None``.
+    """
+
+    d: np.ndarray
+    e: np.ndarray
+    u: Optional[np.ndarray]
+    vt: Optional[np.ndarray]
+
+    def bidiagonal(self) -> np.ndarray:
+        """The dense ``n x n`` upper bidiagonal matrix ``B``."""
+        n = self.d.size
+        b = np.zeros((n, n))
+        np.fill_diagonal(b, self.d)
+        if n > 1:
+            b[np.arange(n - 1), np.arange(1, n)] = self.e
+        return b
+
+    def reconstruct(self, m: int) -> np.ndarray:
+        """Rebuild ``A = U B V^T`` (requires vectors)."""
+        if self.u is None or self.vt is None:
+            raise ValueError("reconstruction requires compute_uv=True")
+        n = self.d.size
+        b_full = np.zeros((m, n))
+        b_full[:n, :n] = self.bidiagonal()
+        return self.u @ b_full @ self.vt
+
+
+def _apply_left_reflector(a: np.ndarray, v: np.ndarray, tau: float) -> None:
+    """In-place ``A := (I - tau v v^T) A`` (``v`` spans all rows of ``a``)."""
+    if tau == 0.0 or a.size == 0:
+        return
+    w = tau * (v @ a)
+    a -= np.outer(v, w)
+
+
+def _apply_right_reflector(a: np.ndarray, v: np.ndarray, tau: float) -> None:
+    """In-place ``A := A (I - tau v v^T)`` (``v`` spans all columns of ``a``)."""
+    if tau == 0.0 or a.size == 0:
+        return
+    w = tau * (a @ v)
+    a -= np.outer(w, v)
+
+
+def gebd2(a: np.ndarray, *, compute_uv: bool = False) -> Gebd2Result:
+    """Reduce a real ``m x n`` matrix (``m >= n``) to upper bidiagonal form.
+
+    Parameters
+    ----------
+    a:
+        The matrix to reduce (never modified).
+    compute_uv:
+        Also accumulate the orthogonal factors ``U`` and ``V^T``.  This
+        roughly doubles the cost (as in LAPACK) and is only needed when
+        singular vectors are requested.
+
+    Returns
+    -------
+    Gebd2Result
+        ``d``, ``e`` and (optionally) ``u`` / ``vt`` such that
+        ``A = U · bidiag(d, e) · V^T``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> a = rng.standard_normal((6, 4))
+    >>> res = gebd2(a, compute_uv=True)
+    >>> np.allclose(res.reconstruct(6), a)
+    True
+    """
+    a = np.array(a, dtype=float, copy=True)
+    if a.ndim != 2:
+        raise ValueError("gebd2 expects a 2-D array")
+    m, n = a.shape
+    if m < n:
+        raise ValueError(f"gebd2 expects m >= n, got {m}x{n}; pass the transpose")
+    if n == 0:
+        raise ValueError("gebd2 expects at least one column")
+
+    u = np.eye(m) if compute_uv else None
+    vt = np.eye(n) if compute_uv else None
+
+    for j in range(n):
+        # Left reflector: zero A[j+1:, j].
+        col = a[j:, j]
+        if col.size > 1:
+            v, tau, beta = householder_vector(col)
+            a[j, j] = beta
+            a[j + 1 :, j] = 0.0
+            _apply_left_reflector(a[j:, j + 1 :], v, tau)
+            if compute_uv:
+                # U := U * H_j  (H_j acts on rows j..m-1).
+                _apply_right_u(u, v, tau, j)
+        # Right reflector: zero A[j, j+2:].
+        if j < n - 2:
+            row = a[j, j + 1 :]
+            v, tau, beta = householder_vector(row)
+            a[j, j + 1] = beta
+            a[j, j + 2 :] = 0.0
+            _apply_right_reflector(a[j + 1 :, j + 1 :], v, tau)
+            if compute_uv:
+                # V^T := G_j * V^T  (G_j acts on rows j+1..n-1 of V^T).
+                _apply_left_vt(vt, v, tau, j + 1)
+
+    d = np.diagonal(a)[:n].copy()
+    e = np.diagonal(a, offset=1)[: n - 1].copy() if n > 1 else np.array([])
+    return Gebd2Result(d=d, e=e, u=u, vt=vt)
+
+
+def _apply_right_u(u: np.ndarray, v: np.ndarray, tau: float, offset: int) -> None:
+    """``U := U · (I - tau v v^T)`` restricted to columns ``offset:``."""
+    block = u[:, offset:]
+    w = tau * (block @ v)
+    block -= np.outer(w, v)
+
+
+def _apply_left_vt(vt: np.ndarray, v: np.ndarray, tau: float, offset: int) -> None:
+    """``V^T := (I - tau v v^T) · V^T`` restricted to rows ``offset:``."""
+    block = vt[offset:, :]
+    w = tau * (v @ block)
+    block -= np.outer(v, w)
+
+
+def gebd2_flops(m: int, n: int) -> float:
+    """Operation count of the unblocked bidiagonalization: ``4mn^2 - 4n^3/3``.
+
+    This is the classical count quoted in the paper (Section II) for the
+    Golub–Kahan GE2BD step; it equals :func:`repro.models.flops.ge2bd_flops`.
+    """
+    if m < n or n < 1:
+        raise ValueError(f"expected m >= n >= 1, got {m}x{n}")
+    return 4.0 * m * n * n - 4.0 * n**3 / 3.0

@@ -1,0 +1,100 @@
+"""Blocked Householder QR factorization (LAPACK ``xGEQRF``).
+
+Used as the ``preQR`` phase of Chan's algorithm
+(:mod:`repro.lapack.chan`) and as an independent numerical reference for
+the tiled QR factorization: both must produce the same ``R`` factor up to
+column signs and the same reconstruction ``A = Q R``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.kernels.householder import apply_q, apply_qt, qr_factor
+
+
+@dataclass(frozen=True)
+class QRFactorization:
+    """Compact blocked QR factorization ``A = Q R``.
+
+    Attributes
+    ----------
+    r:
+        The ``m x n`` upper-trapezoidal factor.
+    blocks:
+        List of per-panel compact-WY reflectors ``(offset, V, T)``; panel
+        reflectors act on rows ``offset:`` of the matrix.
+    shape:
+        Original matrix shape ``(m, n)``.
+    """
+
+    r: np.ndarray
+    blocks: List[Tuple[int, np.ndarray, np.ndarray]]
+    shape: Tuple[int, int]
+
+    def apply_qt(self, c: np.ndarray) -> np.ndarray:
+        """Compute ``Q^T C`` without forming ``Q`` (``C`` has ``m`` rows)."""
+        c = np.array(c, dtype=float, copy=True)
+        for offset, v, t in self.blocks:
+            c[offset:, :] = apply_qt(v, t, c[offset:, :])
+        return c
+
+    def apply_q(self, c: np.ndarray) -> np.ndarray:
+        """Compute ``Q C`` without forming ``Q`` (``C`` has ``m`` rows)."""
+        c = np.array(c, dtype=float, copy=True)
+        for offset, v, t in reversed(self.blocks):
+            c[offset:, :] = apply_q(v, t, c[offset:, :])
+        return c
+
+
+def geqrf(a: np.ndarray, *, block_size: int = 32) -> QRFactorization:
+    """Blocked Householder QR factorization of a real ``m x n`` matrix.
+
+    The matrix is processed in panels of ``block_size`` columns; each panel
+    is factored with the compact-WY machinery of
+    :mod:`repro.kernels.householder` and its block reflector is applied to
+    the trailing columns in one blocked update.
+    """
+    a = np.array(a, dtype=float, copy=True)
+    if a.ndim != 2:
+        raise ValueError("geqrf expects a 2-D array")
+    m, n = a.shape
+    if m < 1 or n < 1:
+        raise ValueError(f"matrix dimensions must be >= 1, got {m}x{n}")
+    if block_size < 1:
+        raise ValueError(f"block_size must be >= 1, got {block_size}")
+
+    blocks: List[Tuple[int, np.ndarray, np.ndarray]] = []
+    k = min(m, n)
+    for start in range(0, k, block_size):
+        stop = min(start + block_size, k)
+        panel = a[start:, start:stop]
+        v, t, r_panel = qr_factor(panel)
+        a[start:, start:stop] = r_panel
+        if stop < n:
+            a[start:, stop:] = apply_qt(v, t, a[start:, stop:])
+        blocks.append((start, v, t))
+    # The strictly lower part holds no data of R; return the clean triangle.
+    return QRFactorization(r=np.triu(a), blocks=blocks, shape=(m, n))
+
+
+def form_q_from_qr(fact: QRFactorization, economy: bool = True) -> np.ndarray:
+    """Explicitly form the orthogonal factor ``Q`` of a blocked QR.
+
+    With ``economy=True`` only the first ``n`` columns are returned
+    (``m x n``), which is what Chan's algorithm and the GESVD driver need.
+    """
+    m, n = fact.shape
+    cols = min(m, n) if economy else m
+    q = np.eye(m)[:, :cols]
+    return fact.apply_q(q)
+
+
+def geqrf_flops(m: int, n: int) -> float:
+    """Operation count of the Householder QR factorization: ``2n^2(m - n/3)``."""
+    if m < 1 or n < 1:
+        raise ValueError(f"matrix dimensions must be >= 1, got {m}x{n}")
+    return 2.0 * n * n * (m - n / 3.0)

@@ -1,0 +1,35 @@
+"""Operation counts and competitor performance models."""
+
+from repro.models.flops import (
+    ge2bd_flops,
+    rbidiag_flops,
+    ge2bnd_reported_flops,
+    ge2val_reported_flops,
+    bnd2bd_flops,
+    bd2val_flops,
+    chan_crossover_m,
+)
+from repro.models.competitors import (
+    CompetitorModel,
+    PlasmaModel,
+    MklModel,
+    ScalapackModel,
+    ElementalModel,
+    COMPETITORS,
+)
+
+__all__ = [
+    "ge2bd_flops",
+    "rbidiag_flops",
+    "ge2bnd_reported_flops",
+    "ge2val_reported_flops",
+    "bnd2bd_flops",
+    "bd2val_flops",
+    "chan_crossover_m",
+    "CompetitorModel",
+    "PlasmaModel",
+    "MklModel",
+    "ScalapackModel",
+    "ElementalModel",
+    "COMPETITORS",
+]

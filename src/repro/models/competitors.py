@@ -1,0 +1,205 @@
+"""Performance models of the competing GE2VAL implementations (Section VI-B).
+
+The paper compares its DPLASMA implementation against four competitors.
+None of them can be run here (closed-source or require the original
+testbed), so each is replaced by a model that encodes its *algorithmic
+structure* — which is what determines the shape of the figures:
+
+* **PLASMA** — the same two-stage tiled algorithm but restricted to the
+  FLATTS tree and a single node.  Modelled by actually simulating our
+  BIDIAG-FLATTS task graph on one node and adding the shared-memory
+  BND2BD + BD2VAL stages.
+* **Intel MKL** — a shared-memory multi-stage solver (since version 11.2).
+  Modelled as the two-stage flop count executed at a fraction of the node
+  GEMM peak that ramps up with the amount of work per core (it saturates on
+  small or very skinny problems), plus the memory-bound second stage.
+* **ScaLAPACK** — the one-stage ``PxGEBRD``: half of the flops in Level-2
+  BLAS (memory bound), half in Level-3 (compute bound), with a modest
+  per-node parallel efficiency.  This is what produces the ~50 GFlop/s
+  plateau of the paper.
+* **Elemental** — same one-stage algorithm but automatically switches to
+  Chan's algorithm (QR first) when ``m >= 1.2 n``; the QR phase runs at a
+  good Level-3 rate but its scalability saturates beyond ~10 nodes (the
+  plateau observed in the paper).
+
+All models expose ``gflops(m, n, machine)`` returning the GE2VAL rate with
+the paper's reporting convention (direct bidiagonalization flop count).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.models.flops import ge2bd_flops, ge2val_reported_flops, rbidiag_flops
+from repro.runtime.machine import Machine
+
+
+class CompetitorModel(ABC):
+    """Base class: a named model producing a GE2VAL time and rate."""
+
+    name: str = "competitor"
+
+    @abstractmethod
+    def time_seconds(self, m: int, n: int, machine: Machine) -> float:
+        """Predicted GE2VAL wall-clock time in seconds."""
+
+    def gflops(self, m: int, n: int, machine: Machine) -> float:
+        """Predicted GE2VAL rate (paper reporting convention)."""
+        t = self.time_seconds(m, n, machine)
+        if t <= 0:
+            return 0.0
+        return ge2val_reported_flops(m, n) / t / 1e9
+
+
+def _memory_bound_rate(machine: Machine) -> float:
+    """Flops/s sustainable by a node running Level-2 BLAS (2 flops / 8 bytes)."""
+    return machine.preset.memory_bandwidth_gbs * 1e9 / 4.0
+
+
+def _second_stage_seconds(n: int, machine: Machine) -> float:
+    """Shared-memory BND2BD + BD2VAL time (same model as the simulator)."""
+    from repro.runtime.simulator import post_processing_seconds
+
+    return post_processing_seconds(n, machine)
+
+
+@dataclass
+class PlasmaModel(CompetitorModel):
+    """PLASMA: tiled two-stage GE2VAL, FLATTS tree, single node."""
+
+    name: str = "PLASMA"
+    #: QUARK (PLASMA's runtime) reaches slightly lower efficiency than
+    #: PaRSEC on the same DAG; the paper's Figure 2 shows a small but
+    #: consistent gap.
+    runtime_efficiency: float = 0.95
+
+    def time_seconds(self, m: int, n: int, machine: Machine) -> float:
+        from repro.runtime.simulator import simulate_ge2bnd
+
+        single_node = machine.with_nodes(1)
+        sim = simulate_ge2bnd(m, n, single_node, tree="flatts", algorithm="bidiag")
+        return sim.time_seconds / self.runtime_efficiency + _second_stage_seconds(
+            n, single_node
+        )
+
+
+@dataclass
+class MklModel(CompetitorModel):
+    """Intel MKL: shared-memory multi-stage solver (version >= 11.2)."""
+
+    name: str = "MKL"
+    #: Peak fraction of the node GEMM rate MKL's first stage reaches on
+    #: large, square problems.
+    peak_fraction: float = 0.55
+    #: Work per core (in GFlop) needed to reach half of that peak fraction —
+    #: below it the first stage is starved for parallelism (the saturation
+    #: visible on the paper's n = 2000 tall-and-skinny case).
+    half_saturation_gflop_per_core: float = 4.0
+
+    def time_seconds(self, m: int, n: int, machine: Machine) -> float:
+        single_node = machine.with_nodes(1)
+        flops = ge2bd_flops(m, n)
+        work_per_core = flops / 1e9 / single_node.cores_per_node
+        ramp = work_per_core / (work_per_core + self.half_saturation_gflop_per_core)
+        rate = self.peak_fraction * ramp * single_node.node_peak_gflops * 1e9
+        return flops / rate + _second_stage_seconds(n, single_node)
+
+
+@dataclass
+class ScalapackModel(CompetitorModel):
+    """ScaLAPACK PxGEBRD: one-stage, half Level-2 / half Level-3 BLAS."""
+
+    name: str = "ScaLAPACK"
+    #: Fraction of the flops executed in Level-3 BLAS (Großer & Lang report
+    #: roughly a 50/50 split for the blocked one-stage algorithm).
+    level3_fraction: float = 0.5
+    #: Efficiency of the Level-3 half relative to the GEMM peak.
+    level3_efficiency: float = 0.8
+    #: Parallel efficiency per node for the distributed run.  PxGEBRD is
+    #: dominated by distributed matrix-vector products whose efficiency is
+    #: poor (the paper's Figures 3 and 4 show ScaLAPACK barely scaling).
+    node_parallel_efficiency: float = 0.35
+    #: Per-column synchronisation cost: every one of the ``2n`` panel columns
+    #: requires two all-reduces of the trailing-matrix products.  This is the
+    #: latency term that prevents PxGEBRD from scaling with node count.
+    panel_sync_us: float = 10.0
+
+    def _scaled_nodes(self, machine: Machine) -> float:
+        if machine.n_nodes == 1:
+            return 1.0
+        return 1.0 + (machine.n_nodes - 1) * self.node_parallel_efficiency
+
+    def _sync_seconds(self, n: int, machine: Machine) -> float:
+        """Latency of the per-column all-reduces of the distributed run."""
+        if machine.n_nodes == 1:
+            return 0.0
+        import math
+
+        hops = math.ceil(math.log2(machine.n_nodes))
+        return 4.0 * n * self.panel_sync_us * 1e-6 * hops
+
+    def time_seconds(self, m: int, n: int, machine: Machine) -> float:
+        flops = ge2bd_flops(m, n)
+        nodes = self._scaled_nodes(machine)
+        l3_rate = self.level3_efficiency * machine.node_peak_gflops * 1e9 * nodes
+        l2_rate = _memory_bound_rate(machine) * nodes
+        t = (
+            self.level3_fraction * flops / l3_rate
+            + (1.0 - self.level3_fraction) * flops / l2_rate
+            + self._sync_seconds(n, machine)
+        )
+        # The final bidiagonal solve is negligible and shared memory.
+        return t
+
+
+@dataclass
+class ElementalModel(CompetitorModel):
+    """Elemental: ScaLAPACK-like GEBRD with an automatic switch to Chan's
+    algorithm (QR first) when ``m >= 1.2 n``."""
+
+    name: str = "Elemental"
+    chan_threshold: float = 1.2
+    #: Rate of the QR phase relative to GEMM peak on one fully-loaded node.
+    qr_efficiency: float = 0.6
+    #: Parallel efficiency per extra node of Elemental's 2D QR (the paper
+    #: points at "the lack of scalability of the Elemental QR factorization
+    #: compared to the HQR implementation").
+    qr_node_efficiency: float = 0.5
+    #: Elemental's QR stops scaling beyond this node count (the plateau after
+    #: ~10 nodes in Figures 3 and 4).
+    qr_scaling_cap_nodes: int = 10
+    #: Work per core (GFlop) at which the QR phase reaches half its peak
+    #: rate; tall-and-skinny panels starve the 2D algorithm for parallelism.
+    half_saturation_gflop_per_core: float = 4.0
+    gebrd: ScalapackModel = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.gebrd is None:
+            self.gebrd = ScalapackModel(name="Elemental-GEBRD")
+
+    def time_seconds(self, m: int, n: int, machine: Machine) -> float:
+        if m < self.chan_threshold * n:
+            return self.gebrd.time_seconds(m, n, machine)
+        # Chan's algorithm: QR(m, n) + GEBRD(n, n).
+        qr_flops = 2.0 * n * n * (m - n / 3.0)
+        effective_nodes = min(machine.n_nodes, self.qr_scaling_cap_nodes)
+        node_scaling = 1.0 + (effective_nodes - 1) * self.qr_node_efficiency
+        work_per_core = qr_flops / 1e9 / machine.total_cores
+        ramp = work_per_core / (work_per_core + self.half_saturation_gflop_per_core)
+        qr_rate = (
+            self.qr_efficiency * ramp * machine.node_peak_gflops * 1e9 * node_scaling
+        )
+        qr_time = qr_flops / qr_rate
+        gebrd_time = self.gebrd.time_seconds(n, n, machine)
+        return qr_time + gebrd_time
+
+
+#: Registry used by the benchmark harness.
+COMPETITORS: Dict[str, CompetitorModel] = {
+    "PLASMA": PlasmaModel(),
+    "MKL": MklModel(),
+    "ScaLAPACK": ScalapackModel(),
+    "Elemental": ElementalModel(),
+}

@@ -1,0 +1,106 @@
+"""Roofline model of the machine's kernels and stages.
+
+The paper's performance arguments are roofline arguments in disguise:
+
+* tile GEMM-like kernels (TSMQR) have arithmetic intensity ``O(nb)`` and sit
+  on the compute roof;
+* the one-stage GEBRD spends half of its flops in matrix-vector products of
+  intensity ~1/4 flop/byte, pinned to the memory roof — the ~50 GFlop/s
+  plateau of ScaLAPACK in Figure 2;
+* the BND2BD bulge chasing streams the band with intensity ``O(1)`` and is
+  also memory bound, which is why the paper keeps it shared-memory and why
+  it caps the distributed GE2VAL scaling.
+
+These helpers make those statements quantitative for a given
+:class:`~repro.runtime.machine.Machine` preset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import MIRIEL, MachinePreset
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel/stage placed on the roofline.
+
+    Attributes
+    ----------
+    name:
+        Kernel or stage name.
+    arithmetic_intensity:
+        Flops per byte of DRAM traffic.
+    attainable_gflops:
+        ``min(compute peak, intensity * memory bandwidth)`` for the node.
+    memory_bound:
+        Whether the memory roof is the binding constraint.
+    """
+
+    name: str
+    arithmetic_intensity: float
+    attainable_gflops: float
+    memory_bound: bool
+
+
+def attainable_gflops(intensity: float, preset: MachinePreset = MIRIEL) -> float:
+    """Attainable node rate for a given arithmetic intensity (flops/byte)."""
+    if intensity <= 0:
+        raise ValueError("arithmetic intensity must be positive")
+    memory_roof = preset.memory_bandwidth_gbs * intensity
+    return min(preset.node_gemm_gflops, memory_roof)
+
+
+def ridge_intensity(preset: MachinePreset = MIRIEL) -> float:
+    """Intensity at which the compute and memory roofs meet (flops/byte)."""
+    return preset.node_gemm_gflops / preset.memory_bandwidth_gbs
+
+
+def tile_kernel_intensity(nb: int, dtype_bytes: int = 8) -> float:
+    """Arithmetic intensity of a TS update kernel on ``nb x nb`` tiles.
+
+    A TSMQR reads/writes three tiles (~``3 nb^2`` words) and performs
+    ``4 nb^3`` flops, so the intensity grows linearly with ``nb`` — large
+    tiles are compute bound, tiny tiles are not, which is the GE2BND side of
+    the tile-size trade-off.
+    """
+    if nb < 1:
+        raise ValueError("nb must be >= 1")
+    flops = 4.0 * nb**3
+    bytes_moved = 3.0 * nb * nb * dtype_bytes
+    return flops / bytes_moved
+
+
+def gemv_intensity(dtype_bytes: int = 8) -> float:
+    """Arithmetic intensity of a large matrix-vector product (2 flops / word)."""
+    return 2.0 / dtype_bytes
+
+
+def bnd2bd_intensity(dtype_bytes: int = 8) -> float:
+    """Arithmetic intensity of the band bulge chasing (~3 flops / word).
+
+    Each Givens rotation applies 6 flops per updated pair of entries that
+    must be read and written once (2 words in, 2 words out when the band
+    does not fit in cache).
+    """
+    return 6.0 / (2.0 * dtype_bytes)
+
+
+def roofline_summary(nb: int = 160, preset: MachinePreset = MIRIEL) -> Dict[str, RooflinePoint]:
+    """Roofline placement of the pipeline's main kernels and stages."""
+    points = {}
+    for name, intensity in (
+        ("TSMQR tile update", tile_kernel_intensity(nb)),
+        ("GEBRD BLAS-2 half", gemv_intensity()),
+        ("BND2BD bulge chasing", bnd2bd_intensity()),
+    ):
+        rate = attainable_gflops(intensity, preset)
+        points[name] = RooflinePoint(
+            name=name,
+            arithmetic_intensity=intensity,
+            attainable_gflops=rate,
+            memory_bound=rate < preset.node_gemm_gflops - 1e-9,
+        )
+    return points

@@ -1,0 +1,20 @@
+"""PaRSEC-like runtime simulator: machine model, list scheduler, drivers."""
+
+from repro.runtime.machine import Machine
+from repro.runtime.scheduler import ListScheduler, Schedule
+from repro.runtime.simulator import (
+    SimulationResult,
+    simulate_graph,
+    simulate_ge2bnd,
+    simulate_ge2val,
+)
+
+__all__ = [
+    "Machine",
+    "ListScheduler",
+    "Schedule",
+    "SimulationResult",
+    "simulate_graph",
+    "simulate_ge2bnd",
+    "simulate_ge2val",
+]

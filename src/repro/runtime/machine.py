@@ -1,0 +1,118 @@
+"""Machine model used by the runtime simulator.
+
+A :class:`Machine` is a set of identical multicore nodes connected by a
+network, described by a :class:`~repro.config.MachinePreset` (the default
+is the paper's ``miriel`` node: 24 Haswell cores, 37 GFlop/s GEMM per core,
+642 GFlop/s per node, InfiniBand QDR at 40 Gb/s).
+
+The machine translates tile kernels into durations and tile transfers into
+communication delays; everything else (who runs what, when) is the
+scheduler's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.config import MIRIEL, MachinePreset
+from repro.kernels.costs import KernelName, kernel_efficiency, kernel_flops
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A homogeneous cluster of multicore nodes.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes (1 for the shared-memory experiments).
+    cores_per_node:
+        Cores used for computation on each node.  The paper leaves one core
+        free for MPI progress on distributed square runs; pass 23 to mimic
+        that.
+    tile_size:
+        Tile size ``nb``; kernel durations scale as ``nb^3``.
+    preset:
+        Hardware characteristics (GEMM peaks, network).
+    """
+
+    n_nodes: int = 1
+    cores_per_node: int = 24
+    tile_size: int = 160
+    preset: MachinePreset = MIRIEL
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.cores_per_node < 1:
+            raise ValueError("cores_per_node must be >= 1")
+        if self.tile_size < 1:
+            raise ValueError("tile_size must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    # Compute model
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cores(self) -> int:
+        return self.n_nodes * self.cores_per_node
+
+    @property
+    def core_rate_gflops(self) -> float:
+        """Per-core sustainable rate when the whole node is busy.
+
+        The node aggregate GEMM peak (642 GFlop/s on miriel) is lower than
+        ``24 x 37`` because of shared memory bandwidth; dividing it evenly
+        over the cores gives the sustained per-core rate used for kernel
+        durations.
+        """
+        per_core_from_node = self.preset.node_gemm_gflops / self.preset.cores_per_node
+        return min(self.preset.core_gemm_gflops, per_core_from_node)
+
+    def kernel_duration(self, kernel: KernelName) -> float:
+        """Wall-clock seconds of one tile kernel on one core.
+
+        The efficiency of every kernel depends on the tile size (small tiles
+        have a worse surface-to-volume ratio, see
+        :func:`repro.kernels.costs.tile_efficiency_factor`), which is what
+        creates the GE2BND side of the tile-size trade-off of Section VI-B.
+        """
+        flops = kernel_flops(kernel, self.tile_size)
+        rate = self.core_rate_gflops * 1e9 * kernel_efficiency(kernel, self.tile_size)
+        return flops / rate
+
+    @property
+    def node_peak_gflops(self) -> float:
+        """Aggregate GEMM peak of one node (GFlop/s)."""
+        return self.core_rate_gflops * self.cores_per_node
+
+    @property
+    def peak_gflops(self) -> float:
+        """Aggregate GEMM peak of the whole machine (GFlop/s)."""
+        return self.node_peak_gflops * self.n_nodes
+
+    # ------------------------------------------------------------------ #
+    # Communication model
+    # ------------------------------------------------------------------ #
+    @property
+    def tile_bytes(self) -> int:
+        """Size of one tile in bytes (double precision)."""
+        return self.tile_size * self.tile_size * 8
+
+    def transfer_time(self, n_bytes: Optional[int] = None) -> float:
+        """Seconds to move ``n_bytes`` (default: one tile) between two nodes."""
+        if self.n_nodes == 1:
+            return 0.0
+        if n_bytes is None:
+            n_bytes = self.tile_bytes
+        bandwidth = self.preset.network_bandwidth_bytes_per_s
+        return self.preset.network_latency_us * 1e-6 + n_bytes / bandwidth
+
+    def with_nodes(self, n_nodes: int) -> "Machine":
+        """Copy of this machine with a different node count (scaling studies)."""
+        return Machine(
+            n_nodes=n_nodes,
+            cores_per_node=self.cores_per_node,
+            tile_size=self.tile_size,
+            preset=self.preset,
+        )

@@ -1,0 +1,152 @@
+"""Execution-trace tooling: utilization reports and ASCII Gantt charts.
+
+The list scheduler records, for every task, its start/finish time and the
+node / core it ran on.  This module turns that raw schedule into the kind
+of report one would pull out of a PaRSEC trace: per-node utilization,
+idle-time breakdown, and a terminal-friendly Gantt chart that makes the
+pipeline bubbles of the different reduction trees visible at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dag.task import TaskGraph
+from repro.runtime.machine import Machine
+from repro.runtime.scheduler import Schedule
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Compute-utilization summary of one simulated run.
+
+    Attributes
+    ----------
+    makespan:
+        Simulated wall-clock seconds.
+    busy_fraction_per_node:
+        Fraction of available core-seconds each node spent computing.
+    overall_busy_fraction:
+        Machine-wide fraction of core-seconds spent computing.
+    idle_seconds:
+        Total idle core-seconds across the machine.
+    critical_kernel:
+        Kernel name with the most aggregate busy time.
+    """
+
+    makespan: float
+    busy_fraction_per_node: List[float]
+    overall_busy_fraction: float
+    idle_seconds: float
+    critical_kernel: str
+
+
+def utilization_report(
+    schedule: Schedule, graph: TaskGraph, machine: Machine
+) -> UtilizationReport:
+    """Build a :class:`UtilizationReport` from a schedule and its graph."""
+    per_node = schedule.node_utilization(machine)
+    capacity = machine.total_cores * schedule.makespan
+    busy = sum(schedule.busy_time_per_node)
+    per_kernel: Dict[str, float] = {}
+    for task in graph.tasks:
+        duration = schedule.finish[task.id] - schedule.start[task.id]
+        per_kernel[task.kernel.value] = per_kernel.get(task.kernel.value, 0.0) + duration
+    critical = max(per_kernel, key=per_kernel.get) if per_kernel else ""
+    return UtilizationReport(
+        makespan=schedule.makespan,
+        busy_fraction_per_node=per_node,
+        overall_busy_fraction=busy / capacity if capacity > 0 else 0.0,
+        idle_seconds=max(capacity - busy, 0.0),
+        critical_kernel=critical,
+    )
+
+
+#: One-character glyph per kernel used by the ASCII Gantt chart.
+_KERNEL_GLYPHS: Dict[str, str] = {
+    "GEQRT": "Q",
+    "TSQRT": "S",
+    "TTQRT": "T",
+    "UNMQR": "u",
+    "TSMQR": "s",
+    "TTMQR": "t",
+    "GELQT": "L",
+    "TSLQT": "Z",
+    "TTLQT": "Y",
+    "UNMLQ": "l",
+    "TSMLQ": "z",
+    "TTMLQ": "y",
+}
+
+
+def gantt_chart(
+    schedule: Schedule,
+    graph: TaskGraph,
+    machine: Machine,
+    *,
+    width: int = 100,
+    max_lanes: Optional[int] = 32,
+) -> str:
+    """Render the schedule as an ASCII Gantt chart (one lane per core).
+
+    Each column of the chart is ``makespan / width`` seconds; the glyph in a
+    cell is the kernel that occupied the core for the majority of that slice
+    (``.`` means idle).  Lanes are labelled ``n<node>c<core>``.
+
+    Parameters
+    ----------
+    width:
+        Number of time columns.
+    max_lanes:
+        Truncate the chart after this many core lanes (``None`` = no limit).
+    """
+    if schedule.core_of_task is None:
+        raise ValueError("schedule carries no core assignment (was it built by hand?)")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    makespan = schedule.makespan
+    if makespan <= 0 or len(graph) == 0:
+        return "(empty schedule)"
+
+    lanes: Dict[Tuple[int, int], List[Tuple[float, float, str]]] = {}
+    for task in graph.tasks:
+        key = (schedule.node_of_task[task.id], schedule.core_of_task[task.id])
+        lanes.setdefault(key, []).append(
+            (schedule.start[task.id], schedule.finish[task.id], task.kernel.value)
+        )
+
+    lines: List[str] = []
+    header = f"time -> 0 .. {makespan:.4g}s  ({width} columns, '.' = idle)"
+    lines.append(header)
+    legend = "  ".join(f"{glyph}={name}" for name, glyph in sorted(_KERNEL_GLYPHS.items()))
+    lines.append("legend: " + legend)
+    dt = makespan / width
+    shown = 0
+    for key in sorted(lanes):
+        if max_lanes is not None and shown >= max_lanes:
+            lines.append(f"... ({len(lanes) - shown} more core lanes not shown)")
+            break
+        node, core = key
+        row = []
+        intervals = sorted(lanes[key])
+        for col in range(width):
+            t0, t1 = col * dt, (col + 1) * dt
+            best_kernel, best_overlap = None, 0.0
+            for s, f, kernel in intervals:
+                overlap = min(f, t1) - max(s, t0)
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    best_kernel = kernel
+            row.append(_KERNEL_GLYPHS.get(best_kernel, "#") if best_kernel else ".")
+        lines.append(f"n{node:02d}c{core:02d} |" + "".join(row) + "|")
+        shown += 1
+    return "\n".join(lines)
+
+
+def idle_time_by_node(schedule: Schedule, machine: Machine) -> List[float]:
+    """Idle core-seconds of each node over the makespan."""
+    return [
+        machine.cores_per_node * schedule.makespan - busy
+        for busy in schedule.busy_time_per_node
+    ]

@@ -1,0 +1,7 @@
+"""Tiled-matrix storage, tile layout arithmetic and data distributions."""
+
+from repro.tiles.layout import TileLayout
+from repro.tiles.matrix import TiledMatrix
+from repro.tiles.distribution import BlockCyclicDistribution, ProcessGrid
+
+__all__ = ["TileLayout", "TiledMatrix", "BlockCyclicDistribution", "ProcessGrid"]

@@ -1,0 +1,115 @@
+"""Process grids and the 2D block-cyclic data distribution.
+
+The paper's distributed experiments (Section VI-D) map tiles to nodes with
+the ScaLAPACK-style 2D block-cyclic distribution over an ``R x C`` process
+grid: tile ``(i, j)`` lives on process ``(i mod R, j mod C)``.  The paper
+uses ``sqrt(nodes) x sqrt(nodes)`` grids for square matrices and
+``nodes x 1`` grids for tall-and-skinny matrices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """An ``R x C`` grid of processes (one process per node in the paper)."""
+
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"process grid must be at least 1x1, got {self.rows}x{self.cols}")
+
+    @property
+    def size(self) -> int:
+        """Total number of processes."""
+        return self.rows * self.cols
+
+    def rank_of(self, grid_row: int, grid_col: int) -> int:
+        """Linear rank of grid position ``(grid_row, grid_col)`` (row-major)."""
+        if not (0 <= grid_row < self.rows and 0 <= grid_col < self.cols):
+            raise IndexError(
+                f"grid position ({grid_row}, {grid_col}) outside {self.rows}x{self.cols} grid"
+            )
+        return grid_row * self.cols + grid_col
+
+    def position_of(self, rank: int) -> Tuple[int, int]:
+        """Grid position of linear rank ``rank``."""
+        if not (0 <= rank < self.size):
+            raise IndexError(f"rank {rank} out of range [0, {self.size})")
+        return divmod(rank, self.cols)
+
+    def ranks(self) -> Iterator[int]:
+        """Iterate over all linear ranks."""
+        return iter(range(self.size))
+
+    @classmethod
+    def for_square_matrix(cls, n_nodes: int) -> "ProcessGrid":
+        """The near-square grid used by the paper for square matrices.
+
+        Chooses the largest ``R <= sqrt(n_nodes)`` dividing ``n_nodes`` so
+        that all nodes are used (``sqrt(n) x sqrt(n)`` when ``n_nodes`` is a
+        perfect square).
+        """
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        r = int(math.isqrt(n_nodes))
+        while r > 1 and n_nodes % r != 0:
+            r -= 1
+        return cls(r, n_nodes // r)
+
+    @classmethod
+    def for_tall_skinny_matrix(cls, n_nodes: int) -> "ProcessGrid":
+        """The ``n_nodes x 1`` grid used by the paper for tall-skinny matrices."""
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        return cls(n_nodes, 1)
+
+
+@dataclass(frozen=True)
+class BlockCyclicDistribution:
+    """2D block-cyclic mapping of a ``p x q`` tile grid onto a process grid.
+
+    Tile ``(i, j)`` is owned by the process at grid position
+    ``(i mod R, j mod C)``.  The *owner-computes* rule of DPLASMA maps each
+    task that writes tile ``(i, j)`` onto that tile's owner.
+    """
+
+    grid: ProcessGrid
+
+    def owner(self, i: int, j: int) -> int:
+        """Linear rank of the process owning tile ``(i, j)``."""
+        if i < 0 or j < 0:
+            raise IndexError(f"tile indices must be non-negative, got ({i}, {j})")
+        return self.grid.rank_of(i % self.grid.rows, j % self.grid.cols)
+
+    def local_tiles(self, rank: int, p: int, q: int) -> List[Tuple[int, int]]:
+        """All tiles of a ``p x q`` tile matrix owned by ``rank``."""
+        gr, gc = self.grid.position_of(rank)
+        return [
+            (i, j)
+            for i in range(gr, p, self.grid.rows)
+            for j in range(gc, q, self.grid.cols)
+        ]
+
+    def local_tile_count(self, rank: int, p: int, q: int) -> int:
+        """Number of tiles of a ``p x q`` tile matrix owned by ``rank``."""
+        gr, gc = self.grid.position_of(rank)
+        rows = len(range(gr, p, self.grid.rows))
+        cols = len(range(gc, q, self.grid.cols))
+        return rows * cols
+
+    def is_balanced(self, p: int, q: int, tolerance: float = 0.5) -> bool:
+        """Whether the tile counts per process are within ``tolerance``
+        (relative) of each other.  Useful sanity check in tests and examples.
+        """
+        counts = [self.local_tile_count(r, p, q) for r in self.grid.ranks()]
+        lo, hi = min(counts), max(counts)
+        if hi == 0:
+            return True
+        return (hi - lo) / hi <= tolerance

@@ -1,0 +1,66 @@
+"""Reduction trees for the QR / LQ panel steps.
+
+A reduction tree decides, for one panel of ``u`` tile rows, in which order
+and with which kernels (TS or TT) the ``u - 1`` tiles below the panel head
+are annihilated.  The paper studies four shared-memory trees —
+FLATTS, FLATTT, GREEDY and the adaptive AUTO tree — plus hierarchical
+(multi-level) trees for distributed memory.
+"""
+
+from repro.trees.base import (
+    Elimination,
+    PanelContext,
+    PanelPlan,
+    ReductionTree,
+    validate_plan,
+)
+from repro.trees.flat import FlatTSTree, FlatTTTree
+from repro.trees.greedy import GreedyTree, BinaryTree
+from repro.trees.fibonacci import FibonacciTree
+from repro.trees.auto import AutoTree
+from repro.trees.hierarchical import HierarchicalTree
+
+__all__ = [
+    "Elimination",
+    "PanelContext",
+    "PanelPlan",
+    "ReductionTree",
+    "validate_plan",
+    "FlatTSTree",
+    "FlatTTTree",
+    "GreedyTree",
+    "BinaryTree",
+    "FibonacciTree",
+    "AutoTree",
+    "HierarchicalTree",
+    "make_tree",
+    "TREE_REGISTRY",
+]
+
+
+TREE_REGISTRY = {
+    "flatts": FlatTSTree,
+    "flattt": FlatTTTree,
+    "greedy": GreedyTree,
+    "binary": BinaryTree,
+    "fibonacci": FibonacciTree,
+    "auto": AutoTree,
+}
+
+
+def make_tree(name: str, **kwargs) -> ReductionTree:
+    """Instantiate a reduction tree by name.
+
+    Recognised names: ``flatts``, ``flattt``, ``greedy``, ``binary``,
+    ``fibonacci`` and ``auto`` (case-insensitive).  Keyword arguments are
+    forwarded to the tree constructor (e.g. ``n_cores=24, gamma=2.0`` for
+    the AUTO tree).
+    """
+    key = name.strip().lower()
+    try:
+        cls = TREE_REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown reduction tree {name!r}; available: {sorted(TREE_REGISTRY)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,122 @@
+"""The AUTO adaptive reduction tree (Section V of the paper).
+
+AUTO combines the strengths of FLATTS and GREEDY:
+
+* the panel rows are split into consecutive *domains* of ``a`` rows; inside
+  a domain the reduction is a FlatTS tree (efficient TS kernels, one GEQRT
+  per domain head);
+* the domain heads are then combined with a GREEDY (binomial) tree of TT
+  eliminations, which keeps the panel depth logarithmic in the number of
+  domains.
+
+The domain size ``a`` is chosen *per panel step* so that the number of
+independent tasks, ``ceil(u / a) * v`` (``u`` panel rows, ``v`` trailing
+columns), stays above ``gamma * n_cores``; the paper uses ``gamma = 2``.
+Large panels therefore get large domains (more TS kernels, higher kernel
+efficiency) while small panels get many small domains (more parallelism).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.trees.base import Elimination, PanelContext, PanelPlan, ReductionTree
+from repro.trees.greedy import binomial_eliminations
+
+
+def auto_domain_size(
+    rows: int, cols_remaining: int, n_cores: int, gamma: float = 2.0
+) -> int:
+    """Domain size ``a`` chosen by the AUTO tree for one panel step.
+
+    Picks the largest ``a`` such that ``ceil(rows / a) * max(cols, 1)`` —
+    the number of simultaneously available update tasks — is at least
+    ``gamma * n_cores``; falls back to ``a = 1`` (pure GREEDY behaviour)
+    when even single-row domains cannot provide that much parallelism.
+    """
+    if rows < 1:
+        raise ValueError("rows must be >= 1")
+    cols = max(cols_remaining, 1)
+    target = gamma * max(n_cores, 1)
+    # Number of domains needed to reach the parallelism target.
+    needed_domains = math.ceil(target / cols)
+    if needed_domains >= rows:
+        return 1
+    if needed_domains <= 1:
+        return rows
+    return math.ceil(rows / needed_domains)
+
+
+class AutoTree(ReductionTree):
+    """Adaptive FlatTS-within-Greedy tree.
+
+    Parameters
+    ----------
+    n_cores:
+        Number of cores of the target node; if ``None`` the value carried by
+        the :class:`PanelContext` is used.
+    gamma:
+        Parallelism safety factor (the paper uses 2).
+    fixed_domain_size:
+        Force a constant domain size instead of the adaptive choice; used by
+        ablation studies (``a = 4`` reproduces the HQR default low-level
+        tree).
+    """
+
+    name = "Auto"
+
+    def __init__(
+        self,
+        n_cores: Optional[int] = None,
+        gamma: float = 2.0,
+        fixed_domain_size: Optional[int] = None,
+    ) -> None:
+        if n_cores is not None and n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        if gamma <= 0:
+            raise ValueError("gamma must be > 0")
+        if fixed_domain_size is not None and fixed_domain_size < 1:
+            raise ValueError("fixed_domain_size must be >= 1")
+        self.n_cores = n_cores
+        self.gamma = gamma
+        self.fixed_domain_size = fixed_domain_size
+
+    def domain_size(self, ctx: PanelContext) -> int:
+        """The domain size ``a`` used for the panel described by ``ctx``."""
+        if self.fixed_domain_size is not None:
+            return min(self.fixed_domain_size, ctx.rows)
+        cores = self.n_cores if self.n_cores is not None else ctx.n_cores
+        return auto_domain_size(ctx.rows, ctx.cols_remaining, cores, self.gamma)
+
+    def plan(self, ctx: PanelContext) -> PanelPlan:
+        rows = ctx.rows
+        a = self.domain_size(ctx)
+        heads = list(range(0, rows, a))
+        geqrt_rows = list(heads)
+        eliminations: List[Elimination] = []
+        # FlatTS reduction inside each domain.
+        for head in heads:
+            domain_end = min(head + a, rows)
+            for offset, row in enumerate(range(head + 1, domain_end)):
+                eliminations.append(
+                    Elimination(killed=row, killer=head, use_tt=False, round=offset)
+                )
+        # Greedy (binomial) reduction of the domain heads with TT kernels.
+        base_round = a  # informational only; real dependencies come from the tracer
+        for e in binomial_eliminations(len(heads)):
+            eliminations.append(
+                Elimination(
+                    killed=heads[e.killed],
+                    killer=heads[e.killer],
+                    use_tt=True,
+                    round=base_round + e.round,
+                )
+            )
+        return PanelPlan(geqrt_rows=geqrt_rows, eliminations=eliminations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AutoTree(n_cores={self.n_cores}, gamma={self.gamma}, "
+            f"fixed_domain_size={self.fixed_domain_size})"
+        )

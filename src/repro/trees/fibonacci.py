@@ -1,0 +1,85 @@
+"""Fibonacci reduction tree (Modi & Clarke scheme).
+
+The Fibonacci tree is one of the trees offered by the HQR framework [12]
+for the *distributed* (highest) level; the paper's DPLASMA implementation
+uses it as the default top-level tree when ``p < 2q``.  It assigns to each
+row an annihilation *time step* so that the number of rows annihilated at
+consecutive steps follows a staircase pattern; a row killed at step ``t``
+is killed by the closest surviving row above it.
+
+For a panel whose rows are all simultaneously available the Fibonacci tree
+has the same ``O(log u)`` depth as the binomial tree (it is marginally
+deeper), but it pipelines better across successive panels of a full QR
+factorization, which is why HQR exposes both.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.trees.base import Elimination, PanelContext, PanelPlan, ReductionTree
+
+
+def fibonacci_schedule(rows: int) -> List[int]:
+    """Annihilation time step of each local row for the Fibonacci scheme.
+
+    Returns a list ``steps`` of length ``rows`` where ``steps[i]`` is the
+    round at which row ``i`` is annihilated (``steps[0] = 0`` by convention;
+    row 0 is never annihilated).  Row ``i`` can be annihilated at round
+    ``t`` only if its killer has finished all its earlier kills, which the
+    staircase construction guarantees.
+    """
+    if rows < 1:
+        raise ValueError("rows must be >= 1")
+    steps = [0] * rows
+    # Build the schedule from the bottom: the last rows are killed first.
+    # At round t (t = 1, 2, ...) we can kill `count(t)` additional rows,
+    # where count follows the Fibonacci-like growth of surviving killers.
+    remaining = rows - 1
+    killable = 1  # number of rows that can be killed in the current round
+    rnd = 1
+    idx = rows - 1
+    while remaining > 0:
+        kills = min(killable, remaining)
+        for _ in range(kills):
+            steps[idx] = rnd
+            idx -= 1
+            remaining -= 1
+        killable += kills  # every survivor can kill again next round
+        rnd += 1
+    return steps
+
+
+class FibonacciTree(ReductionTree):
+    """Fibonacci tree with TT kernels."""
+
+    name = "Fibonacci"
+
+    def plan(self, ctx: PanelContext) -> PanelPlan:
+        rows = ctx.rows
+        steps = fibonacci_schedule(rows)
+        max_round = max(steps) if rows > 1 else 0
+        alive = list(range(rows))
+        eliminations: List[Elimination] = []
+        for rnd in range(1, max_round + 1):
+            victims = [i for i in alive if i != 0 and steps[i] == rnd]
+            used_killers: set[int] = set()
+            for killed in sorted(victims):
+                # Killer: the closest surviving row above the victim that is
+                # not itself killed this round and has not already been used
+                # as a killer this round (a tile can only serve one TTQRT at
+                # a time).
+                candidates = [
+                    i
+                    for i in alive
+                    if i < killed and i not in victims and i not in used_killers
+                ]
+                if not candidates:
+                    candidates = [i for i in alive if i < killed and i not in victims]
+                killer = max(candidates)
+                used_killers.add(killer)
+                eliminations.append(
+                    Elimination(killed=killed, killer=killer, use_tt=True, round=rnd - 1)
+                )
+            alive = [i for i in alive if i not in victims]
+        return PanelPlan(geqrt_rows=list(range(rows)), eliminations=eliminations)

@@ -1,0 +1,44 @@
+"""Flat reduction trees: FLATTS and FLATTT.
+
+* **FLATTS** is the reference tree of the original tiled-QR papers
+  (Buttari et al.): the panel head (row 0) is factored once with GEQRT and
+  every other row is annihilated *in sequence* with TS kernels.  Highly
+  efficient kernels, but a completely sequential reduction —
+  the critical path of one panel grows linearly in the number of rows.
+
+* **FLATTT** performs exactly the same eliminations, but every row is first
+  triangularized (GEQRT) so that the eliminations use the cheaper TT
+  kernels.  The eliminations remain sequential, but each one is three times
+  cheaper on the critical path (2 + 6 instead of 6 + 12, Table I).
+"""
+
+from __future__ import annotations
+
+from repro.trees.base import Elimination, PanelContext, PanelPlan, ReductionTree
+
+
+class FlatTSTree(ReductionTree):
+    """Flat tree with TS kernels (the PLASMA default)."""
+
+    name = "FlatTS"
+
+    def plan(self, ctx: PanelContext) -> PanelPlan:
+        eliminations = [
+            Elimination(killed=i, killer=0, use_tt=False, round=i - 1)
+            for i in range(1, ctx.rows)
+        ]
+        return PanelPlan(geqrt_rows=[0], eliminations=eliminations)
+
+
+class FlatTTTree(ReductionTree):
+    """Flat tree with TT kernels."""
+
+    name = "FlatTT"
+
+    def plan(self, ctx: PanelContext) -> PanelPlan:
+        geqrt_rows = list(range(ctx.rows))
+        eliminations = [
+            Elimination(killed=i, killer=0, use_tt=True, round=i - 1)
+            for i in range(1, ctx.rows)
+        ]
+        return PanelPlan(geqrt_rows=geqrt_rows, eliminations=eliminations)

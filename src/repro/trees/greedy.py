@@ -1,0 +1,133 @@
+"""Greedy reduction trees.
+
+Two situations must be distinguished (and the paper does):
+
+* **Inside BIDIAG**, consecutive QR and LQ steps cannot overlap
+  (Section IV-A), so every panel starts with all its rows simultaneously
+  available and the GREEDY tree is simply a *binomial* tree: the panel is
+  reduced in ``ceil(log2(u))`` rounds, the minimum possible.
+
+* **Inside a full QR factorization** (the ``preQR`` phase of R-BIDIAG),
+  successive panels *can* overlap, and the pairing chosen inside panel ``k``
+  determines how early panel ``k+1`` can start.  The GREEDY algorithm of
+  Bouwmeester et al. pairs, at every instant, the rows that became available
+  the earliest, which is what achieves the ``22q + o(q)`` critical path the
+  paper relies on.  :meth:`GreedyTree.plan_factorization` implements that
+  readiness-driven pairing for a whole factorization.
+
+All eliminations use TT kernels, hence every row is triangularized first.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from repro.trees.base import Elimination, PanelContext, PanelPlan, ReductionTree
+
+
+def binomial_eliminations(rows: int) -> List[Elimination]:
+    """Binomial-tree eliminations of ``rows`` rows into row 0.
+
+    Round ``r`` pairs rows that are ``2^r`` apart: row ``i + 2^r`` is killed
+    by row ``i`` for every ``i`` that is a multiple of ``2^(r+1)``.
+    """
+    eliminations: List[Elimination] = []
+    stride = 1
+    rnd = 0
+    while stride < rows:
+        for killer in range(0, rows, 2 * stride):
+            killed = killer + stride
+            if killed < rows:
+                eliminations.append(
+                    Elimination(killed=killed, killer=killer, use_tt=True, round=rnd)
+                )
+        stride *= 2
+        rnd += 1
+    return eliminations
+
+
+def greedy_factorization_plans(p: int, q: int) -> List[PanelPlan]:
+    """Readiness-driven GREEDY elimination plans for a full QR factorization.
+
+    The pairing inside each panel is chosen by simulating logical readiness
+    times: an elimination combines the two alive rows that became available
+    the earliest; the lower-indexed row survives (so the panel head is the
+    final survivor), and the killed row becomes available for the *next*
+    panel one logical step later.  This is the cross-panel GREEDY scheme of
+    the HQR framework; traced into a DAG it pipelines successive panels and
+    reaches the asymptotically optimal critical path.
+
+    Returns one :class:`PanelPlan` per panel ``k = 0 .. min(p, q) - 1``,
+    expressed (like every plan) in panel-local row indices.
+    """
+    if p < 1 or q < 1:
+        raise ValueError(f"tile shape must be at least 1x1, got {p}x{q}")
+    plans: List[PanelPlan] = []
+    # Logical time at which each row is ready to start the *current* panel.
+    ready = [0] * p
+    for k in range(min(p, q)):
+        rows = list(range(k, p))
+        heap = [(ready[i], i) for i in rows]
+        heapq.heapify(heap)
+        eliminations: List[Elimination] = []
+        while len(heap) > 1:
+            a_time, a_row = heapq.heappop(heap)
+            b_time, b_row = heapq.heappop(heap)
+            t = max(a_time, b_time) + 1
+            killer, killed = min(a_row, b_row), max(a_row, b_row)
+            eliminations.append(
+                Elimination(
+                    killed=killed - k, killer=killer - k, use_tt=True, round=t - 1
+                )
+            )
+            heapq.heappush(heap, (t, killer))
+            ready[killed] = t  # available for the next panel after its update
+        if heap:
+            ready[heap[0][1]] = heap[0][0]
+        # The list must be a valid topological order: sort by elimination time.
+        eliminations.sort(key=lambda e: e.round)
+        plans.append(
+            PanelPlan(geqrt_rows=list(range(p - k)), eliminations=eliminations)
+        )
+    return plans
+
+
+class GreedyTree(ReductionTree):
+    """The GREEDY tree of the paper (TT kernels).
+
+    For a single panel the plan is a binomial tree (minimum depth when all
+    rows are available at once — the BIDIAG situation).  For a full QR
+    factorization, :meth:`plan_factorization` provides the readiness-driven
+    cross-panel pairing that pipelines successive panels.
+    """
+
+    name = "Greedy"
+
+    def plan(self, ctx: PanelContext) -> PanelPlan:
+        return PanelPlan(
+            geqrt_rows=list(range(ctx.rows)),
+            eliminations=binomial_eliminations(ctx.rows),
+        )
+
+    def plan_factorization(self, p: int, q: int) -> List[PanelPlan]:
+        """Cross-panel GREEDY plans for the QR factorization of ``p x q`` tiles."""
+        return greedy_factorization_plans(p, q)
+
+
+class BinaryTree(ReductionTree):
+    """Alias of the binomial reduction kept as a distinct class.
+
+    The HQR framework distinguishes a *binary* tree (pairing neighbouring
+    rows) from the *greedy* tree (which adapts across panels); for a single
+    panel with all rows available they coincide.  Having both names lets the
+    hierarchical tree express its configuration in the HQR vocabulary.
+    """
+
+    name = "Binary"
+
+    def plan(self, ctx: PanelContext) -> PanelPlan:
+        return PanelPlan(
+            geqrt_rows=list(range(ctx.rows)),
+            eliminations=binomial_eliminations(ctx.rows),
+        )

@@ -1,0 +1,156 @@
+"""Hierarchical (multi-level) reduction trees for distributed memory.
+
+In the DPLASMA implementation (Section V), distributed runs use the HQR
+multi-level trees:
+
+* the *highest* level is a tree of size ``R`` (the number of process-grid
+  rows) combining one representative tile row per grid row — a flat tree by
+  default when ``p >= 2q``, a Fibonacci/greedy tree otherwise;
+* the *lowest* levels work on the tile rows local to one node; the paper's
+  default is FlatTS domains connected by a Greedy tree, i.e. exactly the
+  AUTO tree for the adaptive configuration.
+
+:class:`HierarchicalTree` composes any local tree with any top-level tree.
+Rows are assigned to grid rows with the 2D block-cyclic rule
+``owner = global_row mod R``; all intra-node eliminations stay local, and
+only the final combination of the per-node heads crosses the network —
+which is what makes the communication volume of the distributed algorithm
+proportional to ``R`` per panel instead of ``u``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.trees.base import Elimination, PanelContext, PanelPlan, ReductionTree
+from repro.trees.flat import FlatTSTree
+from repro.trees.greedy import GreedyTree, binomial_eliminations
+from repro.trees.fibonacci import FibonacciTree
+
+
+def _flat_head_eliminations(n_heads: int) -> List[Elimination]:
+    """Sequential TT eliminations of all heads into head 0 (flat top tree)."""
+    return [
+        Elimination(killed=i, killer=0, use_tt=True, round=i - 1)
+        for i in range(1, n_heads)
+    ]
+
+
+class HierarchicalTree(ReductionTree):
+    """Two-level tree: a local tree per process-grid row + a top tree across rows.
+
+    Parameters
+    ----------
+    local_tree:
+        Reduction tree used for the tile rows owned by one grid row
+        (default: :class:`AutoTree`-like behaviour via :class:`FlatTSTree`
+        when ``local_tree`` is omitted — pass an :class:`AutoTree` instance
+        to reproduce the paper's AUTO distributed configuration).
+    top:
+        ``"flat"``, ``"greedy"`` or ``"fibonacci"`` — the tree combining the
+        per-grid-row heads (the paper's default is flat for ``p >= 2q`` and
+        Fibonacci otherwise; use :meth:`default_for_shape`).
+    grid_rows:
+        Number of process-grid rows ``R``; if ``None`` the value carried by
+        the :class:`PanelContext` is used.
+    """
+
+    name = "Hierarchical"
+
+    def __init__(
+        self,
+        local_tree: Optional[ReductionTree] = None,
+        top: str = "flat",
+        grid_rows: Optional[int] = None,
+    ) -> None:
+        top = top.strip().lower()
+        if top not in {"flat", "greedy", "fibonacci"}:
+            raise ValueError(f"unknown top-level tree {top!r}")
+        if grid_rows is not None and grid_rows < 1:
+            raise ValueError("grid_rows must be >= 1")
+        self.local_tree = local_tree if local_tree is not None else FlatTSTree()
+        self.top = top
+        self.grid_rows = grid_rows
+
+    @classmethod
+    def default_for_shape(
+        cls, p: int, q: int, grid_rows: int, local_tree: Optional[ReductionTree] = None
+    ) -> "HierarchicalTree":
+        """The HQR default configuration for a ``p x q`` tile matrix.
+
+        Flat top tree when ``p >= 2q`` (tall matrices, lower communication
+        volume), Fibonacci otherwise (squarish matrices, more top-level
+        parallelism).
+        """
+        top = "flat" if p >= 2 * q else "fibonacci"
+        return cls(local_tree=local_tree, top=top, grid_rows=grid_rows)
+
+    def _top_eliminations(self, n_heads: int) -> List[Elimination]:
+        if self.top == "flat":
+            return _flat_head_eliminations(n_heads)
+        if self.top == "greedy":
+            return binomial_eliminations(n_heads)
+        # Fibonacci: reuse the FibonacciTree plan on the head count.
+        plan = FibonacciTree().plan(PanelContext(rows=n_heads))
+        return list(plan.eliminations)
+
+    def plan(self, ctx: PanelContext) -> PanelPlan:
+        rows = ctx.rows
+        grid_rows = self.grid_rows if self.grid_rows is not None else ctx.grid_rows
+        if grid_rows <= 1 or rows == 1:
+            return self.local_tree.plan(ctx)
+
+        # Group local rows by owning process-grid row.
+        groups: Dict[int, List[int]] = {}
+        for local in range(rows):
+            owner = (ctx.row_offset + local) % grid_rows
+            groups.setdefault(owner, []).append(local)
+
+        geqrt_rows: List[int] = []
+        eliminations: List[Elimination] = []
+        heads: List[int] = []
+        for owner in sorted(groups, key=lambda o: groups[o][0]):
+            members = groups[owner]
+            sub_ctx = PanelContext(
+                rows=len(members),
+                cols_remaining=ctx.cols_remaining,
+                row_offset=ctx.row_offset + members[0],
+                n_cores=ctx.n_cores,
+                grid_rows=1,
+            )
+            sub_plan = self.local_tree.plan(sub_ctx)
+            geqrt_rows.extend(members[r] for r in sub_plan.geqrt_rows)
+            eliminations.extend(
+                Elimination(
+                    killed=members[e.killed],
+                    killer=members[e.killer],
+                    use_tt=e.use_tt,
+                    round=e.round,
+                )
+                for e in sub_plan.eliminations
+            )
+            heads.append(members[0])
+
+        # Top-level reduction of the per-grid-row heads (always TT kernels;
+        # the heads hold triangles after their local reduction).
+        heads.sort()
+        geqrt_set = set(geqrt_rows)
+        base_round = max((e.round for e in eliminations), default=-1) + 1
+        for e in self._top_eliminations(len(heads)):
+            killed, killer = heads[e.killed], heads[e.killer]
+            for head in (killed, killer):
+                if head not in geqrt_set:
+                    geqrt_rows.append(head)
+                    geqrt_set.add(head)
+            eliminations.append(
+                Elimination(
+                    killed=killed, killer=killer, use_tt=True, round=base_round + e.round
+                )
+            )
+        return PanelPlan(geqrt_rows=sorted(set(geqrt_rows)), eliminations=eliminations)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HierarchicalTree(local_tree={self.local_tree!r}, top={self.top!r}, "
+            f"grid_rows={self.grid_rows})"
+        )

@@ -1,0 +1,19 @@
+"""Utilities: test-matrix generators and validation helpers."""
+
+from repro.utils.generators import latms, random_matrix, graded_singular_values
+from repro.utils.validation import (
+    relative_error,
+    max_relative_error,
+    orthogonality_error,
+    reconstruction_error,
+)
+
+__all__ = [
+    "latms",
+    "random_matrix",
+    "graded_singular_values",
+    "relative_error",
+    "max_relative_error",
+    "orthogonality_error",
+    "reconstruction_error",
+]

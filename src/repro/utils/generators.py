@@ -1,0 +1,80 @@
+"""Test-matrix generators.
+
+The paper generates its experimental matrices with LAPACK's ``LATMS``
+routine: random orthogonal factors around a prescribed set of singular
+values, which lets it check the computed singular values "to machine
+precision".  :func:`latms` reproduces that: ``A = U diag(sigma) V^T`` with
+Haar-distributed ``U`` and ``V``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _haar_orthogonal(n: int, rng: np.random.Generator) -> np.ndarray:
+    """A Haar-distributed random orthogonal matrix (QR of a Gaussian)."""
+    z = rng.standard_normal((n, n))
+    q, r = np.linalg.qr(z)
+    # Fix the signs so the distribution is exactly Haar.
+    q *= np.sign(np.diagonal(r))
+    return q
+
+
+def latms(
+    m: int,
+    n: int,
+    singular_values: Sequence[float],
+    *,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Generate an ``m x n`` matrix with prescribed singular values.
+
+    Parameters
+    ----------
+    m, n:
+        Matrix dimensions (``m >= n``).
+    singular_values:
+        The ``n`` prescribed singular values (non-negative).
+    seed, rng:
+        Randomness control (``rng`` wins if both are given).
+    """
+    if m < n:
+        raise ValueError(f"expected m >= n, got {m}x{n}")
+    sigma = np.asarray(singular_values, dtype=float)
+    if sigma.shape != (n,):
+        raise ValueError(f"expected {n} singular values, got shape {sigma.shape}")
+    if np.any(sigma < 0):
+        raise ValueError("singular values must be non-negative")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    u = _haar_orthogonal(m, rng)[:, :n]
+    v = _haar_orthogonal(n, rng)
+    return (u * sigma) @ v.T
+
+
+def graded_singular_values(n: int, condition: float = 1e6) -> np.ndarray:
+    """Geometrically graded singular values from 1 down to ``1/condition``."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if condition < 1:
+        raise ValueError("condition must be >= 1")
+    if n == 1:
+        return np.array([1.0])
+    return np.logspace(0, -np.log10(condition), n)
+
+
+def random_matrix(
+    m: int,
+    n: int,
+    *,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """A dense ``m x n`` standard-normal matrix."""
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    return rng.standard_normal((m, n))

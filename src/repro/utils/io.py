@@ -1,0 +1,97 @@
+"""Result I/O helpers: rows of experiment results to/from CSV and JSON.
+
+The benchmark harness and the CLI produce lists of dictionaries ("rows");
+these helpers persist them so figures can be regenerated or post-processed
+outside the benchmark session.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+Row = Dict[str, object]
+PathLike = Union[str, Path]
+
+
+def save_rows_csv(rows: Sequence[Row], path: PathLike, *, columns: Optional[Sequence[str]] = None) -> None:
+    """Write rows to a CSV file.
+
+    ``columns`` fixes the column order; by default the union of all keys is
+    used, in first-appearance order.
+    """
+    path = Path(path)
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+
+
+def load_rows_csv(path: PathLike) -> List[Row]:
+    """Read rows back from a CSV file, converting numeric strings to numbers."""
+    path = Path(path)
+    rows: List[Row] = []
+    with path.open(newline="", encoding="utf-8") as handle:
+        for raw in csv.DictReader(handle):
+            rows.append({key: _coerce(value) for key, value in raw.items()})
+    return rows
+
+
+def save_rows_json(rows: Sequence[Row], path: PathLike, *, indent: int = 2) -> None:
+    """Write rows to a JSON file."""
+    Path(path).write_text(json.dumps(list(rows), indent=indent), encoding="utf-8")
+
+
+def load_rows_json(path: PathLike) -> List[Row]:
+    """Read rows back from a JSON file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, list):
+        raise ValueError(f"{path} does not contain a list of rows")
+    return data
+
+
+def rows_to_markdown(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) -> str:
+    """Format rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    header = "| " + " | ".join(str(c) for c in columns) + " |"
+    sep = "| " + " | ".join("---" for _ in columns) + " |"
+    lines = [header, sep]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(row.get(c, "")) for c in columns) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _coerce(value: object) -> object:
+    """Best-effort string -> int/float conversion used when loading CSV."""
+    if not isinstance(value, str):
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value

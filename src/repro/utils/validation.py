@@ -1,0 +1,47 @@
+"""Numerical validation helpers shared by tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relative_error(computed: np.ndarray, reference: np.ndarray) -> float:
+    """``||computed - reference|| / ||reference||`` (2-norm of the flattened arrays)."""
+    computed = np.asarray(computed, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    denom = np.linalg.norm(reference)
+    if denom == 0.0:
+        return float(np.linalg.norm(computed))
+    return float(np.linalg.norm(computed - reference) / denom)
+
+
+def max_relative_error(computed: np.ndarray, reference: np.ndarray) -> float:
+    """Element-wise maximum relative error, guarding against zero reference values.
+
+    Entries whose reference value is below ``1e-300`` are compared absolutely
+    (scaled by the largest reference entry).
+    """
+    computed = np.asarray(computed, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if computed.shape != reference.shape:
+        raise ValueError(f"shape mismatch: {computed.shape} vs {reference.shape}")
+    scale = np.maximum(np.abs(reference), 1e-300 + np.max(np.abs(reference)) * 1e-16)
+    return float(np.max(np.abs(computed - reference) / scale))
+
+
+def orthogonality_error(q: np.ndarray) -> float:
+    """``||Q^T Q - I||_F / sqrt(n)`` — how far the columns are from orthonormal."""
+    q = np.asarray(q, dtype=float)
+    n = q.shape[1]
+    gram = q.T @ q
+    return float(np.linalg.norm(gram - np.eye(n)) / max(np.sqrt(n), 1.0))
+
+
+def reconstruction_error(a: np.ndarray, u: np.ndarray, s: np.ndarray, vt: np.ndarray) -> float:
+    """``||A - U diag(s) V^T||_F / ||A||_F``."""
+    a = np.asarray(a, dtype=float)
+    approx = (u * s) @ vt
+    denom = np.linalg.norm(a)
+    if denom == 0.0:
+        return float(np.linalg.norm(approx))
+    return float(np.linalg.norm(a - approx) / denom)

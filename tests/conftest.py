@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Make the package importable even without an installed distribution
+# (the environment installs it via a .pth file; this is a belt-and-braces
+# fallback so `pytest` works from a fresh checkout too).
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator shared by the numeric tests."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,199 @@
+"""Tests for the band container, BND2BD, BD2VAL, GE2BD and the Jacobi SVD."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.band import BandBidiagonal
+from repro.algorithms.bd2val import (
+    bidiagonal_singular_values,
+    bidiagonal_sv_bisection,
+)
+from repro.algorithms.bnd2bd import band_to_bidiagonal
+from repro.algorithms.ge2bd import bidiagonal_to_dense, golub_kahan_bidiagonalization
+from repro.algorithms.jacobi import jacobi_svd
+
+
+def _sv(a):
+    return np.linalg.svd(a, compute_uv=False)
+
+
+def _random_band(n, bw, rng):
+    a = np.triu(rng.standard_normal((n, n)))
+    a = np.triu(a) - np.triu(a, bw + 1)
+    return a
+
+
+class TestBandContainer:
+    def test_from_dense_round_trip(self, rng):
+        dense = _random_band(10, 3, rng)
+        band = BandBidiagonal.from_dense(dense, 3)
+        np.testing.assert_allclose(band.to_dense(), dense)
+
+    def test_getitem_outside_band_is_zero(self, rng):
+        band = BandBidiagonal.from_dense(_random_band(8, 2, rng), 2)
+        assert band[5, 1] == 0.0
+        assert band[0, 7] == 0.0
+
+    def test_setitem_outside_band_raises(self):
+        band = BandBidiagonal.zeros(6, 2)
+        with pytest.raises(IndexError):
+            band[0, 5] = 1.0
+        with pytest.raises(IndexError):
+            band[3, 1] = 1.0
+
+    def test_getitem_out_of_matrix_raises(self):
+        band = BandBidiagonal.zeros(6, 2)
+        with pytest.raises(IndexError):
+            _ = band[6, 0]
+
+    def test_frobenius_norm(self, rng):
+        dense = _random_band(9, 3, rng)
+        band = BandBidiagonal.from_dense(dense, 3)
+        assert band.frobenius_norm() == pytest.approx(np.linalg.norm(dense))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            BandBidiagonal.from_dense(np.zeros((3, 4)), 1)
+
+    def test_copy_is_deep(self, rng):
+        band = BandBidiagonal.from_dense(_random_band(6, 2, rng), 2)
+        dup = band.copy()
+        dup.data[:] = 0.0
+        assert band.frobenius_norm() > 0
+
+
+class TestBnd2Bd:
+    @pytest.mark.parametrize("n,bw", [(8, 2), (12, 3), (20, 4), (15, 5), (10, 9)])
+    def test_preserves_singular_values(self, n, bw, rng):
+        dense = _random_band(n, bw, rng)
+        d, e = band_to_bidiagonal(dense, bandwidth=bw)
+        b = bidiagonal_to_dense(d, e)
+        np.testing.assert_allclose(np.sort(_sv(b)), np.sort(_sv(dense)), atol=1e-9)
+
+    def test_accepts_band_container(self, rng):
+        dense = _random_band(12, 3, rng)
+        band = BandBidiagonal.from_dense(dense, 3)
+        d, e = band_to_bidiagonal(band)
+        np.testing.assert_allclose(
+            np.sort(_sv(bidiagonal_to_dense(d, e))), np.sort(_sv(dense)), atol=1e-9
+        )
+
+    def test_already_bidiagonal_is_identity(self, rng):
+        n = 7
+        d_in = rng.standard_normal(n)
+        e_in = rng.standard_normal(n - 1)
+        dense = bidiagonal_to_dense(d_in, e_in)
+        d, e = band_to_bidiagonal(dense, bandwidth=1)
+        np.testing.assert_allclose(d, d_in)
+        np.testing.assert_allclose(e, e_in)
+
+    def test_single_element(self):
+        d, e = band_to_bidiagonal(np.array([[3.0]]), bandwidth=1)
+        assert d[0] == 3.0
+        assert e.size == 0
+
+    def test_requires_bandwidth_for_dense_input(self, rng):
+        with pytest.raises(ValueError):
+            band_to_bidiagonal(_random_band(5, 2, rng))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            band_to_bidiagonal(np.zeros((3, 4)), bandwidth=1)
+
+
+class TestBd2Val:
+    def test_matches_numpy(self, rng):
+        n = 30
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(n - 1)
+        ref = np.sort(_sv(bidiagonal_to_dense(d, e)))[::-1]
+        got = bidiagonal_singular_values(d, e)
+        np.testing.assert_allclose(got, ref, atol=1e-10 * max(1, ref[0]))
+
+    def test_bisection_matches_qr_iteration(self, rng):
+        n = 20
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(n - 1)
+        qr_vals = bidiagonal_singular_values(d, e)
+        bis_vals = bidiagonal_sv_bisection(d, e)
+        np.testing.assert_allclose(bis_vals, qr_vals, atol=1e-8 * max(1, qr_vals[0]))
+
+    def test_diagonal_matrix(self):
+        d = np.array([3.0, -1.0, 2.0])
+        e = np.zeros(2)
+        np.testing.assert_allclose(bidiagonal_singular_values(d, e), [3.0, 2.0, 1.0])
+
+    def test_zero_diagonal_entry(self, rng):
+        d = np.array([2.0, 0.0, 1.0, 4.0])
+        e = np.array([1.0, 1.5, 0.5])
+        ref = np.sort(_sv(bidiagonal_to_dense(d, e)))[::-1]
+        got = bidiagonal_singular_values(d, e)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_single_value(self):
+        np.testing.assert_allclose(bidiagonal_singular_values([-5.0], []), [5.0])
+        np.testing.assert_allclose(bidiagonal_sv_bisection([-5.0], []), [5.0], atol=1e-10)
+
+    def test_empty(self):
+        assert bidiagonal_singular_values([], []).size == 0
+        assert bidiagonal_sv_bisection([], []).size == 0
+
+    def test_wrong_superdiagonal_length(self):
+        with pytest.raises(ValueError):
+            bidiagonal_singular_values([1.0, 2.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bidiagonal_sv_bisection([1.0, 2.0], [1.0, 2.0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=25), seed=st.integers(min_value=0, max_value=10**6))
+    def test_property_random_bidiagonals(self, n, seed):
+        rng = np.random.default_rng(seed)
+        d = rng.standard_normal(n)
+        e = rng.standard_normal(max(n - 1, 0))
+        ref = np.sort(_sv(bidiagonal_to_dense(d, e)))[::-1]
+        got = bidiagonal_singular_values(d, e)
+        np.testing.assert_allclose(got, ref, atol=1e-8 * max(1.0, abs(ref[0])))
+
+
+class TestGe2Bd:
+    @pytest.mark.parametrize("shape", [(10, 10), (20, 8), (15, 1), (5, 5)])
+    def test_matches_numpy(self, shape, rng):
+        a = rng.standard_normal(shape)
+        d, e = golub_kahan_bidiagonalization(a)
+        ref = np.sort(_sv(a))[::-1]
+        got = np.sort(_sv(bidiagonal_to_dense(d, e)))[::-1]
+        np.testing.assert_allclose(got, ref, atol=1e-10 * max(1, ref[0]))
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(ValueError):
+            golub_kahan_bidiagonalization(rng.standard_normal((3, 5)))
+
+    def test_bidiagonal_to_dense_validates(self):
+        with pytest.raises(ValueError):
+            bidiagonal_to_dense([1.0, 2.0], [1.0, 2.0])
+
+
+class TestJacobi:
+    def test_reconstruction(self, rng):
+        a = rng.standard_normal((10, 6))
+        u, s, vt = jacobi_svd(a)
+        np.testing.assert_allclose((u * s) @ vt, a, atol=1e-10)
+        np.testing.assert_allclose(u.T @ u, np.eye(6), atol=1e-10)
+        np.testing.assert_allclose(vt @ vt.T, np.eye(6), atol=1e-10)
+        np.testing.assert_allclose(s, _sv(a), atol=1e-10)
+
+    def test_descending_order(self, rng):
+        _, s, _ = jacobi_svd(rng.standard_normal((8, 8)))
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_rank_deficient(self, rng):
+        x = rng.standard_normal((8, 2))
+        a = x @ rng.standard_normal((2, 5))
+        u, s, vt = jacobi_svd(a)
+        np.testing.assert_allclose((u * s) @ vt, a, atol=1e-10)
+        assert np.sum(s > 1e-10) == 2
+
+    def test_rejects_wide(self, rng):
+        with pytest.raises(ValueError):
+            jacobi_svd(rng.standard_normal((3, 5)))

@@ -1,0 +1,87 @@
+"""Tests for the kernel cost model (Table I)."""
+
+import pytest
+
+from repro.kernels.costs import (
+    KERNEL_WEIGHTS,
+    KernelName,
+    kernel_efficiency,
+    kernel_flops,
+    kernel_time_seconds,
+    kernel_weight,
+)
+
+
+class TestTable1:
+    """The weights must match Table I of the paper exactly."""
+
+    @pytest.mark.parametrize(
+        "kernel, expected",
+        [
+            ("GEQRT", 4),
+            ("UNMQR", 6),
+            ("TSQRT", 6),
+            ("TSMQR", 12),
+            ("TTQRT", 2),
+            ("TTMQR", 6),
+        ],
+    )
+    def test_qr_weights(self, kernel, expected):
+        assert kernel_weight(kernel) == expected
+
+    def test_lq_weights_mirror_qr(self):
+        pairs = [
+            (KernelName.GELQT, KernelName.GEQRT),
+            (KernelName.UNMLQ, KernelName.UNMQR),
+            (KernelName.TSLQT, KernelName.TSQRT),
+            (KernelName.TSMLQ, KernelName.TSMQR),
+            (KernelName.TTLQT, KernelName.TTQRT),
+            (KernelName.TTMLQ, KernelName.TTMQR),
+        ]
+        for lq, qr in pairs:
+            assert KERNEL_WEIGHTS[lq] == KERNEL_WEIGHTS[qr]
+            assert lq.qr_equivalent == qr
+
+    def test_tt_elimination_cheaper_than_ts(self):
+        # The whole point of TT kernels: a TT elimination (2 + 6) costs a
+        # third of a TS elimination (6 + 12) on the critical path.
+        ts = kernel_weight("TSQRT") + kernel_weight("TSMQR")
+        tt = kernel_weight("TTQRT") + kernel_weight("TTMQR")
+        assert tt * 3 >= ts
+        assert tt < ts
+
+    def test_all_kernels_have_weights_and_efficiencies(self):
+        for kernel in KernelName:
+            assert kernel_weight(kernel) > 0
+            assert 0.0 < kernel_efficiency(kernel) <= 1.0
+
+
+class TestKernelTimings:
+    def test_flops_scale_with_nb_cubed(self):
+        assert kernel_flops("TSMQR", 200) == pytest.approx(8 * kernel_flops("TSMQR", 100))
+
+    def test_flops_formula(self):
+        nb = 160
+        assert kernel_flops("GEQRT", nb) == pytest.approx(4 * nb**3 / 3)
+
+    def test_time_positive_and_monotone_in_weight(self):
+        t_tt = kernel_time_seconds("TTQRT", 160, 37.0)
+        t_ts = kernel_time_seconds("TSQRT", 160, 37.0)
+        assert 0 < t_tt < t_ts
+
+    def test_ts_update_faster_per_flop_than_tt_update(self):
+        # TS kernels run closer to GEMM speed than TT kernels (the AUTO
+        # tree's motivation): time per flop must be lower.
+        per_flop_ts = kernel_time_seconds("TSMQR", 160, 37.0) / kernel_flops("TSMQR", 160)
+        per_flop_tt = kernel_time_seconds("TTMQR", 160, 37.0) / kernel_flops("TTMQR", 160)
+        assert per_flop_ts < per_flop_tt
+
+    def test_panel_kernels_flagged(self):
+        assert KernelName.GEQRT.is_panel
+        assert KernelName.TSLQT.is_panel
+        assert not KernelName.TSMQR.is_panel
+
+    def test_lq_family_flag(self):
+        assert KernelName.GELQT.is_lq
+        assert KernelName.TTMLQ.is_lq
+        assert not KernelName.GEQRT.is_lq

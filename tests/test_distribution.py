@@ -1,0 +1,93 @@
+"""Unit tests for process grids and the 2D block-cyclic distribution."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tiles.distribution import BlockCyclicDistribution, ProcessGrid
+
+
+class TestProcessGrid:
+    def test_basic(self):
+        grid = ProcessGrid(2, 3)
+        assert grid.size == 6
+        assert grid.rank_of(1, 2) == 5
+        assert grid.position_of(5) == (1, 2)
+
+    def test_rank_position_round_trip(self):
+        grid = ProcessGrid(3, 4)
+        for rank in grid.ranks():
+            assert grid.rank_of(*grid.position_of(rank)) == rank
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ProcessGrid(0, 2)
+        grid = ProcessGrid(2, 2)
+        with pytest.raises(IndexError):
+            grid.rank_of(2, 0)
+        with pytest.raises(IndexError):
+            grid.position_of(4)
+
+    def test_square_grid_for_perfect_square(self):
+        grid = ProcessGrid.for_square_matrix(16)
+        assert (grid.rows, grid.cols) == (4, 4)
+
+    def test_square_grid_for_non_square(self):
+        grid = ProcessGrid.for_square_matrix(12)
+        assert grid.size == 12
+        assert grid.rows <= grid.cols
+
+    def test_square_grid_prime(self):
+        grid = ProcessGrid.for_square_matrix(7)
+        assert grid.size == 7
+
+    def test_tall_skinny_grid(self):
+        grid = ProcessGrid.for_tall_skinny_matrix(9)
+        assert (grid.rows, grid.cols) == (9, 1)
+
+    @given(n=st.integers(min_value=1, max_value=64))
+    def test_square_grid_uses_all_nodes(self, n):
+        grid = ProcessGrid.for_square_matrix(n)
+        assert grid.size == n
+
+
+class TestBlockCyclic:
+    def test_owner_cycles(self):
+        dist = BlockCyclicDistribution(ProcessGrid(2, 2))
+        assert dist.owner(0, 0) == 0
+        assert dist.owner(0, 1) == 1
+        assert dist.owner(1, 0) == 2
+        assert dist.owner(2, 2) == 0
+
+    def test_owner_negative_index(self):
+        dist = BlockCyclicDistribution(ProcessGrid(2, 2))
+        with pytest.raises(IndexError):
+            dist.owner(-1, 0)
+
+    def test_local_tiles_partition(self):
+        dist = BlockCyclicDistribution(ProcessGrid(2, 3))
+        p, q = 7, 8
+        all_tiles = set()
+        for rank in dist.grid.ranks():
+            tiles = dist.local_tiles(rank, p, q)
+            assert len(tiles) == dist.local_tile_count(rank, p, q)
+            for t in tiles:
+                assert dist.owner(*t) == rank
+            all_tiles.update(tiles)
+        assert all_tiles == {(i, j) for i in range(p) for j in range(q)}
+
+    def test_balance(self):
+        dist = BlockCyclicDistribution(ProcessGrid(2, 2))
+        assert dist.is_balanced(8, 8)
+        # A 1x1 tile matrix on 4 processes is maximally unbalanced.
+        assert not dist.is_balanced(1, 1, tolerance=0.1)
+
+    @given(
+        rows=st.integers(min_value=1, max_value=5),
+        cols=st.integers(min_value=1, max_value=5),
+        p=st.integers(min_value=1, max_value=20),
+        q=st.integers(min_value=1, max_value=20),
+    )
+    def test_property_counts_sum_to_total(self, rows, cols, p, q):
+        dist = BlockCyclicDistribution(ProcessGrid(rows, cols))
+        total = sum(dist.local_tile_count(r, p, q) for r in dist.grid.ranks())
+        assert total == p * q

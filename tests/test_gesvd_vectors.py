@@ -1,0 +1,184 @@
+"""Tests for the singular-vector pipeline (BND2BD-UV, BDSQR, GESVD driver)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.band import BandBidiagonal
+from repro.algorithms.bd2val import bidiagonal_singular_values
+from repro.algorithms.bdsqr import bdsqr
+from repro.algorithms.bnd2bd import band_to_bidiagonal
+from repro.algorithms.bnd2bd_uv import band_to_bidiagonal_uv
+from repro.algorithms.gesvd_pipeline import gesvd_two_stage
+from repro.utils.generators import latms
+
+
+def _bidiagonal(d, e):
+    n = d.size
+    b = np.zeros((n, n))
+    np.fill_diagonal(b, d)
+    if n > 1:
+        b[np.arange(n - 1), np.arange(1, n)] = e
+    return b
+
+
+def _random_band(n, bw, seed=0):
+    rng = np.random.default_rng(seed)
+    a = np.triu(rng.standard_normal((n, n)))
+    return a - np.triu(a, bw + 1)
+
+
+class TestBnd2bdUV:
+    def test_reconstruction(self):
+        a = _random_band(14, 4, seed=1)
+        d, e, u2, v2t = band_to_bidiagonal_uv(a, bandwidth=4)
+        assert np.allclose(u2 @ _bidiagonal(d, e) @ v2t, a, atol=1e-12)
+
+    def test_orthogonality(self):
+        a = _random_band(10, 3, seed=2)
+        _, _, u2, v2t = band_to_bidiagonal_uv(a, bandwidth=3)
+        assert np.allclose(u2.T @ u2, np.eye(10), atol=1e-12)
+        assert np.allclose(v2t @ v2t.T, np.eye(10), atol=1e-12)
+
+    def test_matches_vectorless_variant(self):
+        a = _random_band(12, 5, seed=3)
+        d1, e1 = band_to_bidiagonal(a, bandwidth=5)
+        d2, e2, _, _ = band_to_bidiagonal_uv(a, bandwidth=5)
+        assert np.allclose(d1, d2)
+        assert np.allclose(e1, e2)
+
+    def test_band_container_input(self):
+        a = _random_band(9, 2, seed=4)
+        band = BandBidiagonal.from_dense(a, bandwidth=2)
+        d, e, u2, v2t = band_to_bidiagonal_uv(band)
+        assert np.allclose(u2 @ _bidiagonal(d, e) @ v2t, a, atol=1e-12)
+
+    def test_bandwidth_one_is_identity(self):
+        a = _random_band(7, 1, seed=5)
+        d, e, u2, v2t = band_to_bidiagonal_uv(a, bandwidth=1)
+        assert np.allclose(u2, np.eye(7))
+        assert np.allclose(v2t, np.eye(7))
+        assert np.allclose(d, np.diagonal(a))
+
+    def test_trivial_sizes(self):
+        d, e, u2, v2t = band_to_bidiagonal_uv(np.array([[3.0]]), bandwidth=1)
+        assert d.shape == (1,) and e.shape == (0,)
+        assert u2.shape == (1, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            band_to_bidiagonal_uv(np.zeros((3, 4)), bandwidth=2)
+        with pytest.raises(ValueError):
+            band_to_bidiagonal_uv(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            band_to_bidiagonal_uv(np.zeros((3, 3)), bandwidth=0)
+
+
+class TestBdsqr:
+    def test_full_svd_of_bidiagonal(self):
+        rng = np.random.default_rng(6)
+        d = rng.standard_normal(15)
+        e = rng.standard_normal(14)
+        res = bdsqr(d, e)
+        b = _bidiagonal(d, e)
+        assert np.allclose(res.u @ np.diag(res.singular_values) @ res.vt, b, atol=1e-10)
+
+    def test_values_match_valueonly_solver(self):
+        rng = np.random.default_rng(7)
+        d = rng.standard_normal(20)
+        e = rng.standard_normal(19)
+        got = bdsqr(d, e).singular_values
+        want = bidiagonal_singular_values(d, e)
+        assert np.allclose(got, want, atol=1e-10)
+
+    def test_orthogonality(self):
+        rng = np.random.default_rng(8)
+        d = rng.standard_normal(12)
+        e = rng.standard_normal(11)
+        res = bdsqr(d, e)
+        assert np.allclose(res.u.T @ res.u, np.eye(12), atol=1e-11)
+        assert np.allclose(res.vt @ res.vt.T, np.eye(12), atol=1e-11)
+
+    def test_descending_nonnegative(self):
+        rng = np.random.default_rng(9)
+        res = bdsqr(rng.standard_normal(10), rng.standard_normal(9))
+        s = res.singular_values
+        assert np.all(s >= 0)
+        assert np.all(np.diff(s) <= 1e-12)
+
+    def test_zero_diagonal_entry(self):
+        d = np.array([2.0, 0.0, 3.0, 1.0])
+        e = np.array([1.0, 1.5, 0.5])
+        res = bdsqr(d, e)
+        b = _bidiagonal(d, e)
+        assert np.allclose(res.singular_values, np.linalg.svd(b, compute_uv=False), atol=1e-10)
+        assert np.allclose(res.u @ np.diag(res.singular_values) @ res.vt, b, atol=1e-10)
+
+    def test_negative_diagonal_sign_fix(self):
+        d = np.array([-3.0, 2.0])
+        e = np.array([0.0])
+        res = bdsqr(d, e)
+        assert np.allclose(res.singular_values, [3.0, 2.0])
+        assert np.allclose(res.u @ np.diag(res.singular_values) @ res.vt, _bidiagonal(d, e))
+
+    def test_size_one_and_empty(self):
+        res = bdsqr(np.array([-2.0]), np.array([]))
+        assert np.allclose(res.singular_values, [2.0])
+        empty = bdsqr(np.array([]), np.array([]))
+        assert empty.singular_values.size == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bdsqr(np.ones(4), np.ones(4))
+
+
+class TestGesvdTwoStage:
+    @pytest.mark.parametrize("tree", ["flatts", "flattt", "greedy", "auto"])
+    def test_reconstruction_all_trees(self, tree):
+        rng = np.random.default_rng(10)
+        a = rng.standard_normal((18, 10))
+        res = gesvd_two_stage(a, tile_size=4, tree=tree, n_cores=4)
+        assert np.allclose(res.reconstruct(), a, atol=1e-10)
+
+    def test_values_match_numpy(self):
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((20, 12))
+        res = gesvd_two_stage(a, tile_size=5)
+        assert np.allclose(res.singular_values, np.linalg.svd(a, compute_uv=False), atol=1e-10)
+
+    def test_vectors_orthonormal(self):
+        rng = np.random.default_rng(12)
+        a = rng.standard_normal((16, 8))
+        res = gesvd_two_stage(a, tile_size=4)
+        assert np.allclose(res.u.T @ res.u, np.eye(8), atol=1e-10)
+        assert np.allclose(res.vt @ res.vt.T, np.eye(8), atol=1e-10)
+
+    def test_rbidiag_variant(self):
+        rng = np.random.default_rng(13)
+        a = rng.standard_normal((30, 8))
+        res = gesvd_two_stage(a, tile_size=4, variant="rbidiag")
+        assert np.allclose(res.reconstruct(), a, atol=1e-10)
+
+    def test_prescribed_singular_values(self):
+        sv = np.array([10.0, 5.0, 2.0, 1.0, 0.5, 0.1])
+        a = latms(18, 6, sv, seed=3)
+        res = gesvd_two_stage(a, tile_size=3)
+        assert np.allclose(res.singular_values, sv, atol=1e-10)
+
+    def test_stage_timings_present(self):
+        rng = np.random.default_rng(14)
+        a = rng.standard_normal((12, 6))
+        res = gesvd_two_stage(a, tile_size=3)
+        assert set(res.stage_seconds) == {
+            "ge2bnd",
+            "accumulate_u1v1",
+            "bnd2bd",
+            "bd2val",
+            "compose",
+        }
+        assert all(t >= 0 for t in res.stage_seconds.values())
+
+    def test_square_matrix(self):
+        rng = np.random.default_rng(15)
+        a = rng.standard_normal((12, 12))
+        res = gesvd_two_stage(a, tile_size=4)
+        assert np.allclose(res.reconstruct(), a, atol=1e-10)

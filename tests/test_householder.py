@@ -1,0 +1,134 @@
+"""Unit and property tests for the Householder machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.kernels.householder import (
+    apply_q,
+    apply_q_right,
+    apply_qt,
+    apply_qt_right,
+    build_t_factor,
+    form_q,
+    householder_vector,
+    qr_factor,
+)
+
+
+def finite_vectors(min_size=1, max_size=12):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.integers(min_value=min_size, max_value=max_size),
+        elements=st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    )
+
+
+class TestHouseholderVector:
+    def test_annihilates_tail(self, rng):
+        x = rng.standard_normal(7)
+        v, tau, beta = householder_vector(x)
+        h = np.eye(7) - tau * np.outer(v, v)
+        y = h @ x
+        assert y[0] == pytest.approx(beta, rel=1e-12)
+        np.testing.assert_allclose(y[1:], 0.0, atol=1e-12)
+
+    def test_norm_preserved(self, rng):
+        x = rng.standard_normal(5)
+        _, _, beta = householder_vector(x)
+        assert abs(beta) == pytest.approx(np.linalg.norm(x), rel=1e-12)
+
+    def test_already_aligned(self):
+        x = np.array([3.0, 0.0, 0.0])
+        v, tau, beta = householder_vector(x)
+        assert tau == 0.0
+        assert beta == 3.0
+
+    def test_single_element(self):
+        v, tau, beta = householder_vector(np.array([-2.5]))
+        assert tau == 0.0
+        assert beta == -2.5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            householder_vector(np.array([]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(x=finite_vectors())
+    def test_property_reflection(self, x):
+        v, tau, beta = householder_vector(x)
+        h = np.eye(x.size) - tau * np.outer(v, v)
+        y = h @ x
+        np.testing.assert_allclose(y[1:], 0.0, atol=1e-9 * max(1.0, np.linalg.norm(x)))
+        # H is orthogonal and symmetric (an elementary reflector).
+        np.testing.assert_allclose(h @ h, np.eye(x.size), atol=1e-12)
+
+
+class TestQRFactor:
+    @pytest.mark.parametrize("shape", [(4, 4), (6, 3), (3, 3), (8, 5), (5, 1), (1, 1)])
+    def test_factorization(self, shape, rng):
+        a = rng.standard_normal(shape)
+        v, t, r = qr_factor(a)
+        q = form_q(v, t)
+        # R upper trapezoidal
+        np.testing.assert_allclose(np.tril(r, -1), 0.0, atol=1e-12)
+        # A = Q R
+        np.testing.assert_allclose(q @ r, a, atol=1e-12)
+        # Q orthogonal
+        np.testing.assert_allclose(q.T @ q, np.eye(shape[0]), atol=1e-12)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            qr_factor(np.zeros(4))
+
+    def test_t_factor_matches_product_of_reflectors(self, rng):
+        a = rng.standard_normal((5, 5))
+        v, t, _ = qr_factor(a)
+        # Rebuild Q from the individual reflectors and compare.
+        q_ref = np.eye(5)
+        taus = np.diagonal(t)
+        for j in range(5):
+            h = np.eye(5) - taus[j] * np.outer(v[:, j], v[:, j])
+            q_ref = q_ref @ h
+        np.testing.assert_allclose(form_q(v, t), q_ref, atol=1e-12)
+
+
+class TestApply:
+    def test_apply_qt_matches_explicit(self, rng):
+        a = rng.standard_normal((6, 4))
+        c = rng.standard_normal((6, 3))
+        v, t, _ = qr_factor(a)
+        q = form_q(v, t)
+        np.testing.assert_allclose(apply_qt(v, t, c), q.T @ c, atol=1e-12)
+        np.testing.assert_allclose(apply_q(v, t, c), q @ c, atol=1e-12)
+
+    def test_apply_right_matches_explicit(self, rng):
+        a = rng.standard_normal((5, 5))
+        c = rng.standard_normal((3, 5))
+        v, t, _ = qr_factor(a)
+        q = form_q(v, t)
+        np.testing.assert_allclose(apply_q_right(v, t, c), c @ q, atol=1e-12)
+        np.testing.assert_allclose(apply_qt_right(v, t, c), c @ q.T, atol=1e-12)
+
+    def test_inputs_not_modified(self, rng):
+        a = rng.standard_normal((4, 4))
+        c = rng.standard_normal((4, 2))
+        c_copy = c.copy()
+        v, t, _ = qr_factor(a)
+        apply_qt(v, t, c)
+        np.testing.assert_array_equal(c, c_copy)
+
+    def test_form_q_embeds(self, rng):
+        a = rng.standard_normal((3, 3))
+        v, t, _ = qr_factor(a)
+        q = form_q(v, t, m=5)
+        assert q.shape == (5, 5)
+        np.testing.assert_allclose(q[3:, 3:], np.eye(2))
+        with pytest.raises(ValueError):
+            form_q(v, t, m=2)
+
+    def test_build_t_upper_triangular(self, rng):
+        a = rng.standard_normal((6, 4))
+        v, t, _ = qr_factor(a)
+        np.testing.assert_allclose(np.tril(t, -1), 0.0, atol=0.0)

@@ -1,0 +1,162 @@
+"""Tests for result I/O, the experiment registry, the roofline model and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import MIRIEL
+from repro.cli import main
+from repro.experiments.registry import REGISTRY, get_experiment, list_experiments, run_experiment
+from repro.models.roofline import (
+    attainable_gflops,
+    bnd2bd_intensity,
+    gemv_intensity,
+    ridge_intensity,
+    roofline_summary,
+    tile_kernel_intensity,
+)
+from repro.utils.io import (
+    load_rows_csv,
+    load_rows_json,
+    rows_to_markdown,
+    save_rows_csv,
+    save_rows_json,
+)
+
+ROWS = [
+    {"m": 100, "tree": "greedy", "gflops": 12.5},
+    {"m": 200, "tree": "auto", "gflops": 25.0},
+]
+
+
+class TestIO:
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        save_rows_csv(ROWS, path)
+        back = load_rows_csv(path)
+        assert back == [
+            {"m": 100, "tree": "greedy", "gflops": 12.5},
+            {"m": 200, "tree": "auto", "gflops": 25.0},
+        ]
+
+    def test_csv_column_selection(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        save_rows_csv(ROWS, path, columns=["m", "gflops"])
+        back = load_rows_csv(path)
+        assert set(back[0]) == {"m", "gflops"}
+
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "rows.json"
+        save_rows_json(ROWS, path)
+        assert load_rows_json(path) == ROWS
+
+    def test_json_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"a": 1}))
+        with pytest.raises(ValueError):
+            load_rows_json(path)
+
+    def test_markdown_table(self):
+        md = rows_to_markdown(ROWS)
+        assert md.splitlines()[0].startswith("| m |")
+        assert "greedy" in md
+        assert rows_to_markdown([]) == "(no data)"
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        ridge = ridge_intensity(MIRIEL)
+        assert attainable_gflops(ridge) == pytest.approx(MIRIEL.node_gemm_gflops, rel=1e-6)
+        assert attainable_gflops(ridge / 10) < MIRIEL.node_gemm_gflops
+
+    def test_tile_kernels_are_compute_bound_at_nb160(self):
+        summary = roofline_summary(nb=160)
+        assert not summary["TSMQR tile update"].memory_bound
+        assert summary["GEBRD BLAS-2 half"].memory_bound
+        assert summary["BND2BD bulge chasing"].memory_bound
+
+    def test_small_tiles_lose_intensity(self):
+        assert tile_kernel_intensity(32) < tile_kernel_intensity(160)
+
+    def test_memory_bound_rates_match_bandwidth(self):
+        rate = attainable_gflops(gemv_intensity())
+        assert rate == pytest.approx(MIRIEL.memory_bandwidth_gbs * 0.25)
+        assert attainable_gflops(bnd2bd_intensity()) < MIRIEL.node_gemm_gflops / 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            attainable_gflops(0.0)
+        with pytest.raises(ValueError):
+            tile_kernel_intensity(0)
+
+
+class TestRegistry:
+    def test_registry_covers_every_figure_and_table(self):
+        keys = set(REGISTRY)
+        assert {"table1", "critical-paths", "crossover"} <= keys
+        assert {"fig2-ge2bnd-square", "fig2-ge2bnd-ts2000", "fig2-ge2bnd-ts10000", "fig2-ge2val"} <= keys
+        assert {"fig3-ge2bnd", "fig3-ge2val", "fig4-weak-n2000", "fig4-weak-n10000"} <= keys
+
+    def test_every_experiment_has_metadata(self):
+        for exp in list_experiments():
+            assert exp.paper_ref
+            assert exp.description
+            assert callable(exp.runner)
+
+    def test_get_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("does-not-exist")
+
+    def test_run_cheap_experiments(self):
+        rows = run_experiment("table1")
+        assert len(rows) == 3
+        rows = run_experiment("crossover")
+        assert all("delta_s" in row for row in rows)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig4-weak-n2000" in out
+
+    def test_run_table1_markdown_and_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "t1.csv"
+        assert main(["run", "table1", "--markdown", "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "GEQRT" in out
+        assert csv_path.exists()
+        assert len(load_rows_csv(csv_path)) == 3
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "nope"]) == 2
+
+    def test_critical_path_command(self, capsys):
+        assert main(["critical-path", "8", "4", "--tree", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "closed form" in out and "measured" in out
+
+    def test_simulate_command(self, capsys):
+        assert main(["simulate", "2000", "2000", "--nb", "200", "--cores", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "GFlop/s" in out
+
+    def test_simulate_ge2val_command(self, capsys):
+        assert main(
+            ["simulate", "4000", "1000", "--nb", "250", "--cores", "8", "--ge2val", "--tree", "greedy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tasks" in out
+
+    def test_svd_command_random(self, capsys):
+        assert main(["svd", "--m", "40", "--n", "24", "--tile-size", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "max rel error" in out
+
+    def test_svd_command_npy_input(self, tmp_path, capsys):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((30, 20))
+        path = tmp_path / "a.npy"
+        np.save(path, a)
+        assert main(["svd", "--input", str(path), "--tile-size", "5", "--variant", "bidiag"]) == 0

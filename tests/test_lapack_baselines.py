@@ -1,0 +1,223 @@
+"""Tests for the classical one-stage baselines (repro.lapack)."""
+
+import numpy as np
+import pytest
+
+from repro.lapack import (
+    chan_bidiagonalization,
+    chan_crossover,
+    chan_flops,
+    form_q_from_qr,
+    gebd2,
+    gebd2_flops,
+    gebrd,
+    gebrd_level3_fraction,
+    geqrf,
+    geqrf_flops,
+)
+from repro.models.flops import ge2bd_flops, rbidiag_flops
+
+
+def _bidiagonal(d, e):
+    n = d.size
+    b = np.zeros((n, n))
+    np.fill_diagonal(b, d)
+    if n > 1:
+        b[np.arange(n - 1), np.arange(1, n)] = e
+    return b
+
+
+class TestGebd2:
+    def test_reconstruction(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((10, 6))
+        res = gebd2(a, compute_uv=True)
+        assert np.allclose(res.reconstruct(10), a, atol=1e-12)
+
+    def test_orthogonality(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((9, 5))
+        res = gebd2(a, compute_uv=True)
+        assert np.allclose(res.u.T @ res.u, np.eye(9), atol=1e-12)
+        assert np.allclose(res.vt @ res.vt.T, np.eye(5), atol=1e-12)
+
+    def test_bidiagonal_structure(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((8, 8))
+        res = gebd2(a)
+        b = res.bidiagonal()
+        off_band = b - np.triu(np.tril(b, 1))
+        assert np.allclose(off_band, 0.0)
+
+    def test_singular_values_match_numpy(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((12, 7))
+        res = gebd2(a)
+        got = np.sort(np.linalg.svd(_bidiagonal(res.d, res.e), compute_uv=False))[::-1]
+        want = np.linalg.svd(a, compute_uv=False)
+        assert np.allclose(got, want, atol=1e-10)
+
+    def test_square_matrix(self):
+        rng = np.random.default_rng(4)
+        a = rng.standard_normal((6, 6))
+        res = gebd2(a, compute_uv=True)
+        assert np.allclose(res.reconstruct(6), a, atol=1e-12)
+
+    def test_single_column(self):
+        a = np.array([[3.0], [4.0]])
+        res = gebd2(a)
+        assert res.d.shape == (1,)
+        assert res.e.shape == (0,)
+        assert np.isclose(abs(res.d[0]), 5.0)
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            gebd2(np.zeros((3, 5)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError):
+            gebd2(np.zeros(4))
+
+    def test_no_uv_returns_none(self):
+        res = gebd2(np.eye(4))
+        assert res.u is None and res.vt is None
+        with pytest.raises(ValueError):
+            res.reconstruct(4)
+
+    def test_flops_match_paper_count(self):
+        assert gebd2_flops(3000, 1000) == pytest.approx(ge2bd_flops(3000, 1000))
+        with pytest.raises(ValueError):
+            gebd2_flops(10, 20)
+
+
+class TestGebrd:
+    def test_matches_unblocked(self):
+        rng = np.random.default_rng(5)
+        a = rng.standard_normal((11, 7))
+        blocked = gebrd(a, block_size=3)
+        unblocked = gebd2(a)
+        # Same transforms in the same order => bit-for-bit identical diagonals.
+        assert np.allclose(blocked.d, unblocked.d)
+        assert np.allclose(blocked.e, unblocked.e)
+
+    def test_reconstruction_with_vectors(self):
+        rng = np.random.default_rng(6)
+        a = rng.standard_normal((10, 10))
+        res = gebrd(a, block_size=4, compute_uv=True)
+        assert np.allclose(res.reconstruct(10), a, atol=1e-12)
+
+    def test_block_size_does_not_change_result(self):
+        rng = np.random.default_rng(7)
+        a = rng.standard_normal((9, 6))
+        d1 = gebrd(a, block_size=1).d
+        d2 = gebrd(a, block_size=6).d
+        assert np.allclose(d1, d2)
+
+    def test_invalid_block_size(self):
+        with pytest.raises(ValueError):
+            gebrd(np.eye(4), block_size=0)
+
+    def test_level3_fraction_bounds(self):
+        assert gebrd_level3_fraction(4000, 4000, 32) == pytest.approx(0.5 * (1 - 32 / 4000))
+        assert gebrd_level3_fraction(100, 16, 32) == 0.0
+        assert 0.0 <= gebrd_level3_fraction(10**6, 10**5) < 0.5
+
+
+class TestGeqrf:
+    def test_reconstruction(self):
+        rng = np.random.default_rng(8)
+        a = rng.standard_normal((12, 5))
+        fact = geqrf(a, block_size=2)
+        q = form_q_from_qr(fact)
+        assert np.allclose(q @ fact.r[:5, :5], a, atol=1e-12)
+
+    def test_q_orthonormal_columns(self):
+        rng = np.random.default_rng(9)
+        a = rng.standard_normal((15, 6))
+        q = form_q_from_qr(geqrf(a))
+        assert np.allclose(q.T @ q, np.eye(6), atol=1e-12)
+
+    def test_r_upper_triangular(self):
+        rng = np.random.default_rng(10)
+        a = rng.standard_normal((8, 8))
+        fact = geqrf(a, block_size=3)
+        assert np.allclose(np.tril(fact.r, -1), 0.0)
+
+    def test_apply_qt_inverts_apply_q(self):
+        rng = np.random.default_rng(11)
+        a = rng.standard_normal((9, 4))
+        fact = geqrf(a)
+        c = rng.standard_normal((9, 3))
+        assert np.allclose(fact.apply_qt(fact.apply_q(c)), c, atol=1e-12)
+
+    def test_r_matches_numpy_up_to_signs(self):
+        rng = np.random.default_rng(12)
+        a = rng.standard_normal((10, 6))
+        r_ours = geqrf(a).r[:6, :6]
+        r_np = np.linalg.qr(a, mode="r")
+        assert np.allclose(np.abs(r_ours), np.abs(r_np), atol=1e-10)
+
+    def test_flops_formula(self):
+        assert geqrf_flops(3000, 1000) == pytest.approx(2 * 1000**2 * (3000 - 1000 / 3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geqrf(np.zeros(3))
+        with pytest.raises(ValueError):
+            geqrf(np.eye(3), block_size=0)
+
+
+class TestChan:
+    def test_crossover_value(self):
+        assert chan_crossover(999) == pytest.approx(5 * 999 / 3)
+
+    def test_flops_equal_rbidiag_count(self):
+        assert chan_flops(40000, 2000) == pytest.approx(rbidiag_flops(40000, 2000))
+
+    def test_preqr_applied_above_threshold(self):
+        rng = np.random.default_rng(13)
+        a = rng.standard_normal((30, 6))
+        res = chan_bidiagonalization(a)
+        assert res.used_preqr
+
+    def test_preqr_skipped_below_threshold(self):
+        rng = np.random.default_rng(14)
+        a = rng.standard_normal((7, 6))
+        res = chan_bidiagonalization(a)
+        assert not res.used_preqr
+
+    def test_force_preqr(self):
+        rng = np.random.default_rng(15)
+        a = rng.standard_normal((7, 6))
+        assert chan_bidiagonalization(a, force=True).used_preqr
+
+    def test_singular_values_match(self):
+        rng = np.random.default_rng(16)
+        a = rng.standard_normal((25, 5))
+        res = chan_bidiagonalization(a)
+        got = np.sort(np.linalg.svd(_bidiagonal(res.d, res.e), compute_uv=False))[::-1]
+        assert np.allclose(got, np.linalg.svd(a, compute_uv=False), atol=1e-10)
+
+    def test_reconstruction_with_vectors(self):
+        rng = np.random.default_rng(17)
+        a = rng.standard_normal((20, 5))
+        res = chan_bidiagonalization(a, compute_uv=True)
+        b = _bidiagonal(res.d, res.e)
+        assert np.allclose(res.u @ b @ res.vt, a, atol=1e-11)
+
+    def test_reconstruction_without_preqr(self):
+        rng = np.random.default_rng(18)
+        a = rng.standard_normal((7, 6))
+        res = chan_bidiagonalization(a, compute_uv=True)
+        b = _bidiagonal(res.d, res.e)
+        assert np.allclose(res.u @ b @ res.vt, a, atol=1e-11)
+
+    def test_flop_crossover_consistency(self):
+        # Below 5n/3 the direct count is lower, above it Chan's is lower.
+        n = 600
+        assert ge2bd_flops(n, n) < chan_flops(n, n)
+        assert ge2bd_flops(4 * n, n) > chan_flops(4 * n, n)
+
+    def test_wide_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            chan_bidiagonalization(np.zeros((3, 5)))

@@ -1,0 +1,107 @@
+"""Unit tests for the tile layout arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tiles.layout import TileLayout, ceil_div
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_one(self):
+        assert ceil_div(1, 100) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 5) == 0
+
+    def test_invalid_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(10, 0)
+
+    @given(a=st.integers(min_value=0, max_value=10**6), b=st.integers(min_value=1, max_value=10**4))
+    def test_matches_definition(self, a, b):
+        assert ceil_div(a, b) == -(-a // b)
+
+
+class TestTileLayout:
+    def test_exact_tiling(self):
+        layout = TileLayout(12, 8, 4)
+        assert layout.p == 3
+        assert layout.q == 2
+        assert layout.tile_shape == (3, 2)
+        assert layout.shape == (12, 8)
+
+    def test_ragged_tiling(self):
+        layout = TileLayout(13, 9, 4)
+        assert layout.p == 4
+        assert layout.q == 3
+        assert layout.tile_rows(3) == 1
+        assert layout.tile_cols(2) == 1
+        assert layout.tile_rows(0) == 4
+
+    def test_tile_size_of(self):
+        layout = TileLayout(10, 10, 4)
+        assert layout.tile_size_of(0, 0) == (4, 4)
+        assert layout.tile_size_of(2, 2) == (2, 2)
+        assert layout.tile_size_of(2, 0) == (2, 4)
+
+    def test_row_and_col_ranges(self):
+        layout = TileLayout(10, 7, 3)
+        assert layout.row_range(0) == (0, 3)
+        assert layout.row_range(3) == (9, 10)
+        assert layout.col_range(2) == (6, 7)
+
+    def test_ranges_cover_matrix(self):
+        layout = TileLayout(17, 11, 5)
+        rows = sum(layout.tile_rows(i) for i in range(layout.p))
+        cols = sum(layout.tile_cols(j) for j in range(layout.q))
+        assert rows == 17
+        assert cols == 11
+
+    def test_tiles_iteration_order(self):
+        layout = TileLayout(4, 4, 2)
+        assert list(layout.tiles()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_tile_of_element(self):
+        layout = TileLayout(10, 10, 3)
+        assert layout.tile_of_element(0, 0) == (0, 0)
+        assert layout.tile_of_element(9, 9) == (3, 3)
+        assert layout.tile_of_element(3, 5) == (1, 1)
+
+    def test_tile_of_element_out_of_range(self):
+        layout = TileLayout(10, 10, 3)
+        with pytest.raises(IndexError):
+            layout.tile_of_element(10, 0)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            TileLayout(0, 5, 2)
+        with pytest.raises(ValueError):
+            TileLayout(5, 5, 0)
+
+    def test_index_out_of_range(self):
+        layout = TileLayout(6, 6, 3)
+        with pytest.raises(IndexError):
+            layout.tile_rows(2)
+        with pytest.raises(IndexError):
+            layout.col_range(-1)
+
+    @given(
+        m=st.integers(min_value=1, max_value=200),
+        n=st.integers(min_value=1, max_value=200),
+        nb=st.integers(min_value=1, max_value=50),
+    )
+    def test_property_tile_counts(self, m, n, nb):
+        layout = TileLayout(m, n, nb)
+        assert (layout.p - 1) * nb < m <= layout.p * nb
+        assert (layout.q - 1) * nb < n <= layout.q * nb
+        # every tile has between 1 and nb rows/cols
+        for i in range(layout.p):
+            assert 1 <= layout.tile_rows(i) <= nb
+        for j in range(layout.q):
+            assert 1 <= layout.tile_cols(j) <= nb

@@ -1,0 +1,110 @@
+"""Unit tests for the LQ tile kernels."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.lq_kernels import gelqt, tslqt, tsmlq, ttlqt, ttmlq, unmlq
+
+
+class TestGelqtUnmlq:
+    def test_gelqt_lower_triangular(self, rng):
+        a = rng.standard_normal((5, 5))
+        l, refl = gelqt(a)
+        np.testing.assert_allclose(np.triu(l, 1), 0.0, atol=1e-12)
+        # Singular values preserved (L = A Q^T with Q orthogonal).
+        np.testing.assert_allclose(
+            np.linalg.svd(l, compute_uv=False),
+            np.linalg.svd(a, compute_uv=False),
+            atol=1e-10,
+        )
+
+    def test_unmlq_consistency(self, rng):
+        """Applying the LQ update to a second row keeps [A; C] factorized."""
+        a = rng.standard_normal((4, 6))
+        c = rng.standard_normal((3, 6))
+        l, refl = gelqt(a)
+        c_updated = unmlq(refl, c)
+        # The rows of [L; C_updated] must span the same space and have the
+        # same Gram matrix as [A; C] (they differ by the orthogonal Q^T on
+        # the right).
+        before = np.vstack([a, c])
+        after = np.vstack([l, c_updated])
+        np.testing.assert_allclose(before @ before.T, after @ after.T, atol=1e-10)
+
+    def test_unmlq_rejects_wrong_reflector(self, rng):
+        l_left = np.tril(rng.standard_normal((3, 3)))
+        _, _, refl = tslqt(l_left, rng.standard_normal((3, 3)))
+        with pytest.raises(ValueError):
+            unmlq(refl, rng.standard_normal((3, 3)))
+
+    def test_unmlq_rejects_column_mismatch(self, rng):
+        _, refl = gelqt(rng.standard_normal((3, 4)))
+        with pytest.raises(ValueError):
+            unmlq(refl, rng.standard_normal((3, 3)))
+
+
+class TestTslqtTsmlq:
+    def test_tslqt_zeroes_right(self, rng):
+        l_left = np.tril(rng.standard_normal((4, 4)))
+        a_right = rng.standard_normal((4, 4))
+        new_left, new_right, refl = tslqt(l_left, a_right)
+        np.testing.assert_array_equal(new_right, 0.0)
+        np.testing.assert_allclose(np.triu(new_left, 1), 0.0, atol=1e-12)
+        # Row Gram matrix preserved: [L | A] and [L' | 0] differ by an
+        # orthogonal transformation on the right.
+        before = np.hstack([l_left, a_right])
+        after = np.hstack([new_left, new_right])
+        np.testing.assert_allclose(before @ before.T, after @ after.T, atol=1e-10)
+
+    def test_tslqt_row_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            tslqt(rng.standard_normal((4, 4)), rng.standard_normal((3, 4)))
+
+    def test_tsmlq_preserves_products(self, rng):
+        l_left = np.tril(rng.standard_normal((3, 3)))
+        a_right = rng.standard_normal((3, 3))
+        new_left, new_right, refl = tslqt(l_left, a_right)
+        c_left = rng.standard_normal((2, 3))
+        c_right = rng.standard_normal((2, 3))
+        u_left, u_right = tsmlq(refl, c_left, c_right)
+        # Inner products between the panel rows and the updated rows are
+        # preserved by the shared right orthogonal transformation.
+        before = np.hstack([np.vstack([l_left, c_left]), np.vstack([a_right, c_right])])
+        after = np.hstack([np.vstack([new_left, u_left]), np.vstack([new_right, u_right])])
+        np.testing.assert_allclose(before @ before.T, after @ after.T, atol=1e-10)
+
+    def test_tsmlq_rejects_wrong_reflector(self, rng):
+        _, refl = gelqt(rng.standard_normal((3, 3)))
+        with pytest.raises(ValueError):
+            tsmlq(refl, rng.standard_normal((3, 3)), rng.standard_normal((3, 3)))
+
+    def test_tsmlq_rejects_bad_split(self, rng):
+        l_left = np.tril(rng.standard_normal((3, 3)))
+        _, _, refl = tslqt(l_left, rng.standard_normal((3, 3)))
+        with pytest.raises(ValueError):
+            tsmlq(refl, rng.standard_normal((2, 2)), rng.standard_normal((2, 3)))
+
+
+class TestTtlqtTtmlq:
+    def test_ttlqt_combines_triangles(self, rng):
+        l_left = np.tril(rng.standard_normal((4, 4)))
+        l_right = np.tril(rng.standard_normal((4, 4)))
+        new_left, new_right, refl = ttlqt(l_left, l_right)
+        np.testing.assert_array_equal(new_right, 0.0)
+        before = np.hstack([l_left, l_right])
+        after = np.hstack([new_left, new_right])
+        np.testing.assert_allclose(before @ before.T, after @ after.T, atol=1e-10)
+
+    def test_ttmlq_rejects_wrong_reflector(self, rng):
+        l_left = np.tril(rng.standard_normal((3, 3)))
+        _, _, refl = tslqt(l_left, rng.standard_normal((3, 3)))
+        with pytest.raises(ValueError):
+            ttmlq(refl, rng.standard_normal((3, 3)), rng.standard_normal((3, 3)))
+
+    def test_inputs_not_modified(self, rng):
+        l_left = np.tril(rng.standard_normal((4, 4)))
+        l_right = np.tril(rng.standard_normal((4, 4)))
+        left_copy, right_copy = l_left.copy(), l_right.copy()
+        ttlqt(l_left, l_right)
+        np.testing.assert_array_equal(l_left, left_copy)
+        np.testing.assert_array_equal(l_right, right_copy)

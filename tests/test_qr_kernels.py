@@ -1,0 +1,126 @@
+"""Unit tests for the QR tile kernels (GEQRT/TSQRT/TTQRT and updates)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.householder import form_q
+from repro.kernels.qr_kernels import geqrt, tsmqr, tsqrt, ttmqr, ttqrt, unmqr
+
+
+class TestGeqrtUnmqr:
+    def test_geqrt_triangularizes(self, rng):
+        a = rng.standard_normal((5, 5))
+        r, refl = geqrt(a)
+        np.testing.assert_allclose(np.tril(r, -1), 0.0, atol=1e-12)
+        q = form_q(refl.v, refl.t)
+        np.testing.assert_allclose(q @ r, a, atol=1e-12)
+
+    def test_unmqr_applies_qt(self, rng):
+        a = rng.standard_normal((4, 4))
+        c = rng.standard_normal((4, 4))
+        r, refl = geqrt(a)
+        q = form_q(refl.v, refl.t)
+        np.testing.assert_allclose(unmqr(refl, c), q.T @ c, atol=1e-12)
+
+    def test_unmqr_rejects_wrong_reflector(self, rng):
+        a = rng.standard_normal((4, 4))
+        _, _, refl = tsqrt(np.triu(a), rng.standard_normal((4, 4)))
+        with pytest.raises(ValueError):
+            unmqr(refl, a)
+
+    def test_unmqr_rejects_row_mismatch(self, rng):
+        _, refl = geqrt(rng.standard_normal((4, 4)))
+        with pytest.raises(ValueError):
+            unmqr(refl, rng.standard_normal((3, 4)))
+
+    def test_rectangular_tile(self, rng):
+        a = rng.standard_normal((3, 5))
+        r, refl = geqrt(a)
+        q = form_q(refl.v, refl.t)
+        np.testing.assert_allclose(q @ r, a, atol=1e-12)
+
+
+class TestTsqrtTsmqr:
+    def test_tsqrt_zeroes_bottom(self, rng):
+        r_top = np.triu(rng.standard_normal((4, 4)))
+        a_bot = rng.standard_normal((4, 4))
+        new_top, new_bot, refl = tsqrt(r_top, a_bot)
+        np.testing.assert_array_equal(new_bot, 0.0)
+        # Stacked factorization is exact.
+        q = form_q(refl.v, refl.t)
+        stacked = np.vstack([r_top, a_bot])
+        np.testing.assert_allclose(q @ np.vstack([new_top, new_bot]), stacked, atol=1e-12)
+
+    def test_tsqrt_ragged_bottom(self, rng):
+        r_top = np.triu(rng.standard_normal((4, 4)))
+        a_bot = rng.standard_normal((2, 4))
+        new_top, new_bot, refl = tsqrt(r_top, a_bot)
+        assert new_bot.shape == (2, 4)
+        q = form_q(refl.v, refl.t)
+        np.testing.assert_allclose(
+            q @ np.vstack([new_top, new_bot]), np.vstack([r_top, a_bot]), atol=1e-12
+        )
+
+    def test_tsqrt_column_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            tsqrt(rng.standard_normal((4, 4)), rng.standard_normal((4, 3)))
+
+    def test_tsmqr_matches_explicit(self, rng):
+        r_top = np.triu(rng.standard_normal((3, 3)))
+        a_bot = rng.standard_normal((3, 3))
+        _, _, refl = tsqrt(r_top, a_bot)
+        c_top = rng.standard_normal((3, 4))
+        c_bot = rng.standard_normal((3, 4))
+        q = form_q(refl.v, refl.t)
+        expected = q.T @ np.vstack([c_top, c_bot])
+        got_top, got_bot = tsmqr(refl, c_top, c_bot)
+        np.testing.assert_allclose(np.vstack([got_top, got_bot]), expected, atol=1e-12)
+
+    def test_tsmqr_rejects_wrong_reflector(self, rng):
+        _, refl = geqrt(rng.standard_normal((3, 3)))
+        with pytest.raises(ValueError):
+            tsmqr(refl, rng.standard_normal((3, 3)), rng.standard_normal((3, 3)))
+
+    def test_tsmqr_rejects_bad_split(self, rng):
+        r_top = np.triu(rng.standard_normal((3, 3)))
+        _, _, refl = tsqrt(r_top, rng.standard_normal((3, 3)))
+        with pytest.raises(ValueError):
+            tsmqr(refl, rng.standard_normal((2, 3)), rng.standard_normal((3, 3)))
+
+
+class TestTtqrtTtmqr:
+    def test_ttqrt_combines_triangles(self, rng):
+        r_top = np.triu(rng.standard_normal((4, 4)))
+        r_bot = np.triu(rng.standard_normal((4, 4)))
+        new_top, new_bot, refl = ttqrt(r_top, r_bot)
+        np.testing.assert_array_equal(new_bot, 0.0)
+        np.testing.assert_allclose(np.tril(new_top, -1), 0.0, atol=1e-12)
+        q = form_q(refl.v, refl.t)
+        np.testing.assert_allclose(
+            q @ np.vstack([new_top, new_bot]), np.vstack([r_top, r_bot]), atol=1e-12
+        )
+
+    def test_ttmqr_matches_explicit(self, rng):
+        r_top = np.triu(rng.standard_normal((3, 3)))
+        r_bot = np.triu(rng.standard_normal((3, 3)))
+        _, _, refl = ttqrt(r_top, r_bot)
+        c_top = rng.standard_normal((3, 5))
+        c_bot = rng.standard_normal((3, 5))
+        q = form_q(refl.v, refl.t)
+        expected = q.T @ np.vstack([c_top, c_bot])
+        got_top, got_bot = ttmqr(refl, c_top, c_bot)
+        np.testing.assert_allclose(np.vstack([got_top, got_bot]), expected, atol=1e-12)
+
+    def test_ttmqr_rejects_wrong_reflector(self, rng):
+        r_top = np.triu(rng.standard_normal((3, 3)))
+        _, _, refl = tsqrt(r_top, rng.standard_normal((3, 3)))
+        with pytest.raises(ValueError):
+            ttmqr(refl, rng.standard_normal((3, 3)), rng.standard_normal((3, 3)))
+
+    def test_kernels_do_not_modify_inputs(self, rng):
+        r_top = np.triu(rng.standard_normal((4, 4)))
+        r_bot = np.triu(rng.standard_normal((4, 4)))
+        top_copy, bot_copy = r_top.copy(), r_bot.copy()
+        ttqrt(r_top, r_bot)
+        np.testing.assert_array_equal(r_top, top_copy)
+        np.testing.assert_array_equal(r_bot, bot_copy)
