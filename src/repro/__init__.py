@@ -25,10 +25,25 @@ The package provides, from the bottom up:
 * ``repro.analysis`` — closed-form critical-path formulas and the
   BIDIAG / R-BIDIAG crossover study;
 * ``repro.experiments`` — harness helpers used by ``benchmarks/`` to
-  regenerate each figure and table of the paper.
+  regenerate each figure and table of the paper;
+* ``repro.api`` — the unified plan API: one declarative
+  :class:`~repro.api.plan.SvdPlan` resolved once and executed through the
+  numeric, DAG or simulation backend, all returning a
+  :class:`~repro.api.result.RunResult`.
 
 Quickstart
 ----------
+
+One plan, three lenses:
+
+>>> from repro import SvdPlan, execute
+>>> plan = SvdPlan(m=48, n=32, tile_size=8, stage="ge2val")
+>>> execute(plan, backend="numeric").max_rel_error < 1e-12
+True
+>>> execute(plan, backend="dag").n_tasks == execute(plan, backend="simulate").n_tasks
+True
+
+The classic function-style drivers remain available:
 
 >>> import numpy as np
 >>> from repro import ge2val
@@ -62,6 +77,7 @@ from repro.algorithms.bd2val import bidiagonal_singular_values
 from repro.algorithms.bdsqr import bdsqr
 from repro.algorithms.gesvd_pipeline import gesvd_two_stage
 from repro.algorithms.svd import ge2val, gesvd, ge2bnd
+from repro.api import ResolvedPlan, RunResult, SvdPlan, execute, execute_sweep, resolve
 from repro.dag.critical_path import critical_path_length
 from repro.analysis.formulas import (
     bidiag_flatts_cp,
@@ -70,9 +86,15 @@ from repro.analysis.formulas import (
     rbidiag_greedy_cp,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "SvdPlan",
+    "ResolvedPlan",
+    "RunResult",
+    "resolve",
+    "execute",
+    "execute_sweep",
     "Config",
     "default_config",
     "TiledMatrix",

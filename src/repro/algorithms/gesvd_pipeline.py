@@ -27,6 +27,7 @@ from repro.algorithms.band import extract_band
 from repro.algorithms.bdsqr import bdsqr
 from repro.algorithms.bnd2bd_uv import band_to_bidiagonal_uv
 from repro.algorithms.svd import ge2bnd
+from repro.config import Config
 from repro.tiles.matrix import TiledMatrix
 from repro.trees.base import ReductionTree
 
@@ -68,6 +69,7 @@ def gesvd_two_stage(
     tree: Union[str, ReductionTree, None] = None,
     variant: str = "auto",
     n_cores: int = 1,
+    config: Optional[Config] = None,
 ) -> GesvdResult:
     """Singular values *and* vectors of ``a`` through the two-stage pipeline.
 
@@ -75,7 +77,7 @@ def gesvd_two_stage(
     ----------
     a:
         Dense ``m x n`` array (``m >= n``) or a :class:`TiledMatrix`.
-    tile_size, tree, variant, n_cores:
+    tile_size, tree, variant, n_cores, config:
         Same meaning as :func:`repro.algorithms.svd.ge2bnd`.
 
     Returns
@@ -100,6 +102,7 @@ def gesvd_two_stage(
         variant=variant,
         n_cores=n_cores,
         log_transformations=True,
+        config=config,
     )
     timings["ge2bnd"] = time.perf_counter() - t0
 

@@ -10,6 +10,12 @@ the paper's pipeline:
 * **GESVD** — singular values *and* vectors: GE2BND with transformation
   logging, accumulation of the band factors, and a one-sided Jacobi SVD of
   the remaining small square factor.
+
+Argument canonicalization (tile size defaults, tree names, Chan's
+BIDIAG/R-BIDIAG crossover) lives in :mod:`repro.api.resolver`; these
+drivers are thin wrappers kept for backwards compatibility with the
+pre-plan API.  New code should prefer :func:`repro.api.execute` with an
+:class:`~repro.api.plan.SvdPlan`.
 """
 
 from __future__ import annotations
@@ -26,44 +32,41 @@ from repro.algorithms.bnd2bd import band_to_bidiagonal
 from repro.algorithms.executor import NumericExecutor
 from repro.algorithms.jacobi import jacobi_svd
 from repro.algorithms.rbidiag import rbidiag_ge2bnd
+from repro.api.resolver import as_tiled, chan_prefers_rbidiag, resolve_tree
+from repro.config import Config
 from repro.tiles.matrix import TiledMatrix
-from repro.trees import GreedyTree, make_tree
 from repro.trees.base import ReductionTree
 
 ArrayOrTiled = Union[np.ndarray, TiledMatrix]
 
 
-def _as_tiled(a: ArrayOrTiled, tile_size: Optional[int]) -> TiledMatrix:
-    if isinstance(a, TiledMatrix):
-        return a
-    a = np.asarray(a, dtype=float)
-    if a.ndim != 2:
-        raise ValueError("expected a 2-D array")
-    if tile_size is None:
-        # Aim for a handful of tiles in the smallest dimension by default.
-        tile_size = max(1, min(a.shape) // 4) or 1
-    return TiledMatrix.from_dense(a, tile_size)
+def _as_tiled(
+    a: ArrayOrTiled, tile_size: Optional[int], config: Optional[Config] = None
+) -> TiledMatrix:
+    return as_tiled(a, tile_size, config)
 
 
-def _resolve_tree(tree: Union[str, ReductionTree, None], n_cores: int) -> ReductionTree:
-    if tree is None:
-        return GreedyTree()
-    if isinstance(tree, str):
-        if tree.lower() == "auto":
-            return make_tree("auto", n_cores=n_cores)
-        return make_tree(tree)
-    return tree
+def _resolve_tree(
+    tree: Union[str, ReductionTree, None],
+    n_cores: int,
+    config: Optional[Config] = None,
+) -> ReductionTree:
+    return resolve_tree(tree, n_cores=n_cores, config=config)
 
 
 def _choose_variant(variant: str, p: int, q: int) -> str:
     """Resolve ``variant='auto'`` using Chan's flop crossover ``m >= 5n/3``.
 
     At the tile level the crossover translates to ``p >= 5q/3``; below it
-    BIDIAG performs fewer flops, above it R-BIDIAG does.
+    BIDIAG performs fewer flops, above it R-BIDIAG does.  Kept tile-level
+    for bitwise compatibility with the pre-plan drivers; the plan API
+    resolves ``auto`` on element dimensions instead, which can disagree
+    for shapes right at the boundary (see
+    :func:`repro.api.resolver.chan_prefers_rbidiag`).
     """
     if variant != "auto":
         return variant
-    return "rbidiag" if 3 * p >= 5 * q else "bidiag"
+    return "rbidiag" if chan_prefers_rbidiag(p, q) else "bidiag"
 
 
 def ge2bnd(
@@ -74,6 +77,7 @@ def ge2bnd(
     variant: str = "auto",
     n_cores: int = 1,
     log_transformations: bool = False,
+    config: Optional[Config] = None,
 ) -> Tuple[BandBidiagonal, TiledMatrix, NumericExecutor]:
     """Reduce ``a`` to band bidiagonal form (GE2BND).
 
@@ -82,7 +86,9 @@ def ge2bnd(
     a:
         Dense ``m x n`` array (``m >= n``) or an already tiled matrix.
     tile_size:
-        Tile size ``nb`` used when tiling a dense input.
+        Tile size ``nb`` used when tiling a dense input; ``None`` uses the
+        config-driven default (``Config.tile_size`` capped so small
+        matrices stay multi-tile).
     tree:
         Reduction tree (name or instance); default GREEDY.
     variant:
@@ -92,6 +98,9 @@ def ge2bnd(
         Only forwarded to the AUTO tree's parallelism heuristic.
     log_transformations:
         Keep the orthogonal transformations for later accumulation (GESVD).
+    config:
+        Optional :class:`~repro.config.Config`; ``None`` means
+        :data:`repro.config.default_config`.
 
     Returns
     -------
@@ -99,12 +108,12 @@ def ge2bnd(
         The packed band, the reduced tiled matrix and the executor (which
         carries the transformation log when requested).
     """
-    matrix = _as_tiled(a, tile_size)
+    matrix = _as_tiled(a, tile_size, config)
     if matrix.m < matrix.n:
         raise ValueError(
             f"GE2BND expects m >= n, got {matrix.m}x{matrix.n}; pass the transpose"
         )
-    tree_obj = _resolve_tree(tree, n_cores)
+    tree_obj = _resolve_tree(tree, n_cores, config)
     variant = _choose_variant(variant.lower(), matrix.p, matrix.q)
     executor = NumericExecutor(matrix, log_transformations=log_transformations)
     if variant == "bidiag":
@@ -124,6 +133,7 @@ def ge2val(
     tree: Union[str, ReductionTree, None] = None,
     variant: str = "auto",
     n_cores: int = 1,
+    config: Optional[Config] = None,
 ) -> np.ndarray:
     """Singular values of ``a`` via the full tiled pipeline.
 
@@ -132,7 +142,8 @@ def ge2val(
     order.
     """
     band, _matrix, _executor = ge2bnd(
-        a, tile_size=tile_size, tree=tree, variant=variant, n_cores=n_cores
+        a, tile_size=tile_size, tree=tree, variant=variant, n_cores=n_cores,
+        config=config,
     )
     d, e = band_to_bidiagonal(band)
     return bidiagonal_singular_values(d, e)
@@ -145,6 +156,7 @@ def gesvd(
     tree: Union[str, ReductionTree, None] = None,
     variant: str = "auto",
     n_cores: int = 1,
+    config: Optional[Config] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Full SVD ``a = U diag(s) V^T`` using the tiled reduction.
 
@@ -161,6 +173,7 @@ def gesvd(
         variant=variant,
         n_cores=n_cores,
         log_transformations=True,
+        config=config,
     )
     u1, v1 = accumulate_orthogonal_factors(matrix.layout, executor.transform_log)
     n = matrix.n

@@ -1,0 +1,44 @@
+"""Unified plan-driven API.
+
+One declarative :class:`SvdPlan` drives all three lenses the paper uses to
+study the GE2BND → BND2BD → BD2VAL pipeline:
+
+>>> from repro.api import SvdPlan, execute
+>>> plan = SvdPlan(m=48, n=32, tile_size=8, stage="ge2val", tree="greedy")
+>>> numeric = execute(plan, backend="numeric")   # exact singular values
+>>> dag = execute(plan, backend="dag")           # task graph + critical path
+>>> sim = execute(plan, backend="simulate")      # runtime simulation
+
+All backends return a :class:`RunResult`; plan grids for experiment sweeps
+come from :meth:`SvdPlan.sweep` and run through :func:`execute_sweep`.
+"""
+
+from repro.api.plan import STAGES, VARIANTS, SvdPlan
+from repro.api.resolver import (
+    ResolvedPlan,
+    as_tiled,
+    chan_prefers_rbidiag,
+    default_tile_size,
+    resolve,
+    resolve_tree,
+    resolve_variant,
+)
+from repro.api.result import RunResult
+from repro.api.execute import BACKENDS, execute, execute_sweep
+
+__all__ = [
+    "STAGES",
+    "VARIANTS",
+    "BACKENDS",
+    "SvdPlan",
+    "ResolvedPlan",
+    "RunResult",
+    "resolve",
+    "execute",
+    "execute_sweep",
+    "as_tiled",
+    "chan_prefers_rbidiag",
+    "default_tile_size",
+    "resolve_tree",
+    "resolve_variant",
+]

@@ -1,0 +1,213 @@
+"""Backend dispatch: run one plan through one lens of the paper.
+
+``execute(plan, backend=...)`` resolves the plan once and hands the
+resolved form to one of three backends:
+
+* ``"numeric"``  — the exact tiled Householder pipeline (GE2BND /
+  GE2VAL / GESVD), with per-stage wall-clock timings and accuracy
+  against ``numpy.linalg.svd``;
+* ``"dag"``      — the task-graph tracer + critical-path engine; reports
+  task counts, per-kernel counts and the critical path in Table-I units;
+* ``"simulate"`` — the PaRSEC-like runtime simulator; reports simulated
+  time, GFlop/s, task and message counts.
+
+Backend modules are imported lazily so that importing :mod:`repro.api`
+stays cheap and free of import cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.api.plan import SvdPlan
+from repro.api.resolver import ResolvedPlan, resolve
+from repro.api.result import RunResult
+from repro.config import Config
+
+#: Names accepted by :func:`execute`.
+BACKENDS = ("numeric", "dag", "simulate")
+
+
+def _base_result(resolved: ResolvedPlan, backend: str) -> RunResult:
+    plan = resolved.plan
+    return RunResult(
+        backend=backend,
+        plan=plan,
+        stage=resolved.stage,
+        variant=resolved.variant,
+        tree=resolved.tree_name,
+        m=resolved.m,
+        n=resolved.n,
+        p=resolved.p,
+        q=resolved.q,
+        tile_size=resolved.tile_size,
+        n_cores=plan.n_cores,
+        n_nodes=plan.n_nodes,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Numeric backend
+# --------------------------------------------------------------------------- #
+def _execute_numeric(resolved: ResolvedPlan) -> RunResult:
+    from repro.algorithms.bd2val import bidiagonal_singular_values
+    from repro.algorithms.bnd2bd import band_to_bidiagonal
+    from repro.algorithms.gesvd_pipeline import gesvd_two_stage
+    from repro.algorithms.svd import ge2bnd
+
+    result = _base_result(resolved, "numeric")
+    plan = resolved.plan
+    tiled = resolved.build_tiled()
+
+    if resolved.stage == "gesvd":
+        gres = gesvd_two_stage(
+            tiled,
+            tree=resolved.tree,
+            variant=resolved.variant,
+            n_cores=plan.n_cores,
+        )
+        result.stage_seconds = dict(gres.stage_seconds)
+        result.singular_values = gres.singular_values
+        result.u = gres.u
+        result.vt = gres.vt
+    else:
+        t0 = time.perf_counter()
+        band, _matrix, _executor = ge2bnd(
+            tiled,
+            tree=resolved.tree,
+            variant=resolved.variant,
+            n_cores=plan.n_cores,
+        )
+        result.stage_seconds["ge2bnd"] = time.perf_counter() - t0
+        result.extras["band"] = band
+        if resolved.stage == "ge2val":
+            t0 = time.perf_counter()
+            d, e = band_to_bidiagonal(band)
+            result.stage_seconds["bnd2bd"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            result.singular_values = bidiagonal_singular_values(d, e)
+            result.stage_seconds["bd2val"] = time.perf_counter() - t0
+
+    result.time_seconds = sum(result.stage_seconds.values())
+    if result.singular_values is not None:
+        dense = tiled.to_dense()
+        ref = np.linalg.svd(dense, compute_uv=False)
+        scale = ref[0] if ref[0] > 0 else 1.0
+        result.max_rel_error = float(
+            np.max(np.abs(result.singular_values - ref)) / scale
+        )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# DAG backend
+# --------------------------------------------------------------------------- #
+def _execute_dag(resolved: ResolvedPlan) -> RunResult:
+    from repro.dag.critical_path import critical_path_length
+    from repro.dag.tracer import trace_bidiag, trace_rbidiag
+
+    if resolved.stage == "gesvd":
+        raise ValueError(
+            "stage 'gesvd' is only supported by the 'numeric' backend "
+            "(the DAG tracer covers the tiled GE2BND stage)"
+        )
+    plan = resolved.plan
+    tracer = trace_bidiag if resolved.variant == "bidiag" else trace_rbidiag
+    graph = tracer(
+        resolved.p,
+        resolved.q,
+        resolved.tree,
+        n_cores=plan.n_cores,
+        grid_rows=resolved.grid.rows,
+    )
+    result = _base_result(resolved, "dag")
+    result.n_tasks = len(graph)
+    result.critical_path = critical_path_length(graph)
+    result.extras["n_edges"] = graph.n_edges
+    result.extras["kernel_counts"] = dict(
+        Counter(task.kernel.name for task in graph.tasks)
+    )
+    if resolved.stage == "ge2val":
+        result.extras["note"] = (
+            "DAG covers the tiled GE2BND stage; BND2BD/BD2VAL are not tiled"
+        )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# Simulation backend
+# --------------------------------------------------------------------------- #
+def _execute_simulate(resolved: ResolvedPlan) -> RunResult:
+    from repro.runtime.simulator import simulate_ge2bnd, simulate_ge2val
+
+    if resolved.stage == "gesvd":
+        raise ValueError(
+            "stage 'gesvd' is only supported by the 'numeric' backend "
+            "(the simulator models GE2BND and GE2VAL)"
+        )
+    if resolved.stage == "ge2bnd":
+        sim = simulate_ge2bnd(
+            resolved.m,
+            resolved.n,
+            resolved.machine,
+            tree=resolved.tree,
+            algorithm=resolved.variant,
+        )
+    else:
+        sim = simulate_ge2val(
+            resolved.m,
+            resolved.n,
+            resolved.machine,
+            tree=resolved.tree,
+            algorithm=resolved.variant,
+        )
+    result = _base_result(resolved, "simulate")
+    result.time_seconds = sim.time_seconds
+    result.gflops = sim.gflops
+    result.n_tasks = sim.n_tasks
+    result.messages = sim.messages
+    result.comm_bytes = sim.comm_bytes
+    result.stage_seconds["ge2bnd"] = sim.ge2bnd_seconds
+    if resolved.stage == "ge2val":
+        result.stage_seconds["post"] = sim.post_seconds
+    return result
+
+
+_BACKEND_FNS = {
+    "numeric": _execute_numeric,
+    "dag": _execute_dag,
+    "simulate": _execute_simulate,
+}
+
+
+def execute(
+    plan: Union[SvdPlan, ResolvedPlan],
+    backend: str = "numeric",
+    *,
+    config: Optional[Config] = None,
+) -> RunResult:
+    """Run one plan through one backend and return a :class:`RunResult`.
+
+    Accepts either a declarative :class:`SvdPlan` (resolved here) or an
+    already-:class:`ResolvedPlan` (useful to amortize resolution across
+    backends of the same plan).
+    """
+    name = backend.strip().lower()
+    try:
+        fn = _BACKEND_FNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}"
+        ) from None
+    resolved = plan if isinstance(plan, ResolvedPlan) else resolve(plan, config=config)
+    return fn(resolved)
+
+
+def execute_sweep(plans, backend: str = "simulate", *, config: Optional[Config] = None):
+    """Execute a list of plans (e.g. from :meth:`SvdPlan.sweep`) and return
+    the flattened result rows — the surface experiment tables build on."""
+    return [execute(plan, backend, config=config).to_row() for plan in plans]

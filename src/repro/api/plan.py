@@ -1,0 +1,186 @@
+"""Declarative SVD plans.
+
+An :class:`SvdPlan` captures *what* to run — problem (shape or explicit
+matrix), pipeline stage, algorithmic variant, reduction tree, tile size and
+machine — independently of *how* it is evaluated.  The same plan can be
+handed to :func:`repro.api.execute` with any of the three backends the
+paper uses to study the pipeline:
+
+* ``"numeric"``  — the exact tiled Householder kernels (singular values /
+  vectors, accuracy vs ``numpy.linalg.svd``);
+* ``"dag"``      — the task-graph tracer and critical-path engine
+  (Section IV of the paper);
+* ``"simulate"`` — the PaRSEC-like runtime simulator (Sections V-VI).
+
+Plans are immutable; derive variations with :meth:`SvdPlan.with_` and
+parameter grids with :meth:`SvdPlan.sweep`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from repro.config import PRESETS, Config
+from repro.tiles.matrix import TiledMatrix
+from repro.trees import TREE_REGISTRY
+from repro.trees.base import ReductionTree
+
+#: Pipeline stages a plan can request.
+STAGES = ("ge2bnd", "ge2val", "gesvd")
+
+#: Algorithmic variants (``auto`` resolves via Chan's ``m >= 5n/3`` crossover).
+VARIANTS = ("auto", "bidiag", "rbidiag")
+
+ArrayOrTiled = Union[np.ndarray, TiledMatrix]
+
+
+@dataclass(frozen=True)
+class SvdPlan:
+    """One fully-described SVD problem + configuration.
+
+    Parameters
+    ----------
+    m, n:
+        Element-wise matrix dimensions (``m >= n``).  Required unless
+        ``matrix`` is given, in which case they are derived from it.
+    matrix:
+        Optional explicit input (dense array or :class:`TiledMatrix`).
+        When omitted, the numeric backend generates a seeded standard
+        normal ``m x n`` matrix.
+    stage:
+        ``"ge2bnd"`` (band reduction only), ``"ge2val"`` (singular values)
+        or ``"gesvd"`` (values and vectors; numeric backend only).
+    variant:
+        ``"bidiag"``, ``"rbidiag"`` or ``"auto"`` (Chan crossover).
+    tree:
+        Reduction-tree name (see :data:`repro.trees.TREE_REGISTRY`), an
+        explicit :class:`~repro.trees.base.ReductionTree`, or ``None`` for
+        the GREEDY default.
+    tile_size:
+        Tile size ``nb``; ``None`` defers to the resolver's config-driven
+        default (``Config.tile_size`` capped so small matrices stay
+        multi-tile).
+    n_cores:
+        Cores per node: the AUTO tree's parallelism hint for the numeric /
+        DAG backends, and the per-node core count for the simulator.
+    n_nodes:
+        Node count (distributed simulation / DAG; the numeric backend is
+        shared-memory).
+    machine:
+        Machine preset name (see :data:`repro.config.PRESETS`).
+    seed:
+        Seed of the generated input matrix when ``matrix`` is omitted.
+    config:
+        Optional :class:`~repro.config.Config` override; ``None`` means
+        :data:`repro.config.default_config`.
+    """
+
+    m: Optional[int] = None
+    n: Optional[int] = None
+    matrix: Optional[ArrayOrTiled] = field(default=None, compare=False, repr=False)
+    stage: str = "ge2val"
+    variant: str = "auto"
+    tree: Union[str, ReductionTree, None] = None
+    tile_size: Optional[int] = None
+    n_cores: int = 1
+    n_nodes: int = 1
+    machine: str = "miriel"
+    seed: int = 0
+    config: Optional[Config] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "stage", str(self.stage).lower())
+        object.__setattr__(self, "variant", str(self.variant).lower())
+        if self.stage not in STAGES:
+            raise ValueError(f"unknown stage {self.stage!r}; choose from {STAGES}")
+        if self.variant not in VARIANTS:
+            raise ValueError(f"unknown variant {self.variant!r}; choose from {VARIANTS}")
+        if self.matrix is not None:
+            shape = self.matrix.shape
+            if len(shape) != 2:
+                raise ValueError("matrix must be 2-D")
+            m, n = int(shape[0]), int(shape[1])
+            if self.m is not None and self.m != m:
+                raise ValueError(f"m={self.m} disagrees with matrix shape {shape}")
+            if self.n is not None and self.n != n:
+                raise ValueError(f"n={self.n} disagrees with matrix shape {shape}")
+            object.__setattr__(self, "m", m)
+            object.__setattr__(self, "n", n)
+        if self.m is None or self.n is None:
+            raise ValueError("either (m, n) or an explicit matrix is required")
+        if self.m < 1 or self.n < 1:
+            raise ValueError(f"matrix dimensions must be >= 1, got {self.m}x{self.n}")
+        if self.m < self.n:
+            raise ValueError(
+                f"expected m >= n, got {self.m}x{self.n}; pass the transpose"
+            )
+        if isinstance(self.tree, str) and self.tree.strip().lower() not in TREE_REGISTRY:
+            raise ValueError(
+                f"unknown reduction tree {self.tree!r}; available: {sorted(TREE_REGISTRY)}"
+            )
+        if self.tile_size is not None and self.tile_size < 1:
+            raise ValueError(f"tile_size must be >= 1, got {self.tile_size}")
+        if self.n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {self.n_cores}")
+        if self.n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.machine not in PRESETS:
+            raise ValueError(
+                f"unknown machine preset {self.machine!r}; known presets: {sorted(PRESETS)}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derivation helpers
+    # ------------------------------------------------------------------ #
+    def with_(self, **changes) -> "SvdPlan":
+        """Copy of this plan with some fields replaced."""
+        return replace(self, **changes)
+
+    def sweep(self, **grids: Iterable[object]) -> List["SvdPlan"]:
+        """Cartesian product of field overrides, as a list of plans.
+
+        >>> base = SvdPlan(m=4000, n=4000, stage="ge2bnd", n_cores=24)
+        >>> plans = base.sweep(tree=["flatts", "greedy"], n_nodes=[1, 4])
+        >>> len(plans)
+        4
+
+        Every keyword must name a plan field and map to an iterable of
+        values; fields not named keep this plan's value.  The grid is
+        enumerated with the last keyword varying fastest, which gives
+        stable, predictable row ordering for experiment tables.
+        """
+        valid = {f.name for f in fields(self)}
+        unknown = set(grids) - valid
+        if unknown:
+            raise ValueError(f"unknown plan field(s) in sweep: {sorted(unknown)}")
+        names = list(grids)
+        value_lists = [list(grids[name]) for name in names]
+        for name, values in zip(names, value_lists):
+            if not values:
+                raise ValueError(f"sweep grid for {name!r} is empty")
+        return [
+            self.with_(**dict(zip(names, combo)))
+            for combo in itertools.product(*value_lists)
+        ]
+
+    def describe(self) -> Dict[str, object]:
+        """Scalar summary of the plan (for tables / JSON rows)."""
+        tree = self.tree
+        if isinstance(tree, ReductionTree):
+            tree = getattr(tree, "name", type(tree).__name__)
+        return {
+            "m": self.m,
+            "n": self.n,
+            "stage": self.stage,
+            "variant": self.variant,
+            "tree": tree if tree is not None else "greedy",
+            "tile_size": self.tile_size,
+            "n_cores": self.n_cores,
+            "n_nodes": self.n_nodes,
+            "machine": self.machine,
+            "seed": self.seed,
+        }

@@ -1,0 +1,117 @@
+"""Common result type returned by every backend.
+
+A :class:`RunResult` normalizes what the three lenses of the paper report
+— per-stage timings, task/message counts, critical paths and numerical
+accuracy — into one record, so that experiment sweeps can tabulate
+heterogeneous backends side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.api.plan import SvdPlan
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing one :class:`~repro.api.plan.SvdPlan`.
+
+    Fields that a backend does not produce stay ``None``:
+
+    * ``numeric``  fills ``singular_values`` (and ``u``/``vt`` for the
+      ``gesvd`` stage), wall-clock ``stage_seconds`` and
+      ``max_rel_error`` (vs ``numpy.linalg.svd``, when the dense input is
+      available);
+    * ``dag``      fills ``n_tasks`` and ``critical_path`` (Table-I weight
+      units) plus per-kernel counts in ``extras``;
+    * ``simulate`` fills ``time_seconds``, ``gflops``, ``n_tasks``,
+      ``messages``, ``comm_bytes`` and the simulated ``stage_seconds``.
+    """
+
+    backend: str
+    plan: SvdPlan
+    stage: str
+    variant: str
+    tree: str
+    m: int
+    n: int
+    p: int
+    q: int
+    tile_size: int
+    n_cores: int
+    n_nodes: int
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    time_seconds: Optional[float] = None
+    gflops: Optional[float] = None
+    n_tasks: Optional[int] = None
+    messages: Optional[int] = None
+    comm_bytes: Optional[int] = None
+    critical_path: Optional[float] = None
+    singular_values: Optional[np.ndarray] = None
+    u: Optional[np.ndarray] = None
+    vt: Optional[np.ndarray] = None
+    max_rel_error: Optional[float] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    def to_row(self) -> Dict[str, object]:
+        """Flatten the scalar fields into an experiment-table row."""
+        row: Dict[str, object] = {
+            "backend": self.backend,
+            "stage": self.stage,
+            "variant": self.variant,
+            "tree": self.tree,
+            "m": self.m,
+            "n": self.n,
+            "p": self.p,
+            "q": self.q,
+            "tile_size": self.tile_size,
+            "n_cores": self.n_cores,
+            "n_nodes": self.n_nodes,
+        }
+        for key in ("time_seconds", "gflops", "n_tasks", "messages", "comm_bytes",
+                    "critical_path", "max_rel_error"):
+            value = getattr(self, key)
+            if value is not None:
+                row[key] = value
+        for stage, seconds in self.stage_seconds.items():
+            row[f"seconds_{stage}"] = seconds
+        return row
+
+    def summary(self) -> str:
+        """Multi-line human-readable report (used by the CLI)."""
+        lines = [
+            f"backend        : {self.backend}",
+            f"stage          : {self.stage}",
+            f"matrix         : {self.m} x {self.n}  "
+            f"(tiles {self.p} x {self.q}, nb={self.tile_size})",
+            f"variant        : {self.variant}",
+            f"tree           : {self.tree}",
+            f"machine        : {self.n_nodes} node(s) x {self.n_cores} core(s)",
+        ]
+        if self.n_tasks is not None:
+            lines.append(f"tasks          : {self.n_tasks}")
+        if self.messages is not None:
+            lines.append(f"messages       : {self.messages}")
+        if self.critical_path is not None:
+            lines.append(f"critical path  : {self.critical_path:.0f} (nb^3/3 flop units)")
+        if self.time_seconds is not None:
+            lines.append(f"time (s)       : {self.time_seconds:.4f}")
+        if self.gflops is not None:
+            lines.append(f"GFlop/s        : {self.gflops:.1f}")
+        for stage, seconds in self.stage_seconds.items():
+            lines.append(f"{('t_' + stage):15s}: {seconds:.4f}s")
+        if self.singular_values is not None and len(self.singular_values):
+            lines.append(f"largest sigma  : {self.singular_values[0]:.6e}")
+            lines.append(f"smallest sigma : {self.singular_values[-1]:.6e}")
+        if self.max_rel_error is not None:
+            lines.append(
+                f"max rel error  : {self.max_rel_error:.3e} (vs numpy.linalg.svd)"
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - human-readable report
+        return self.summary()

@@ -5,10 +5,15 @@ without writing any Python:
 
 * ``list``            — list the registered paper experiments;
 * ``run <key>``       — run one experiment and print / save its rows;
+* ``plan``            — build one :class:`~repro.api.plan.SvdPlan` and run
+  it through any backend (``numeric`` / ``dag`` / ``simulate`` / ``all``);
 * ``critical-path``   — closed-form and DAG-measured critical paths;
 * ``simulate``        — one runtime simulation (GE2BND or GE2VAL);
 * ``svd``             — compute singular values of a random or ``.npy`` matrix
   with the numeric tiled pipeline and compare against ``numpy.linalg.svd``.
+
+The ``plan``, ``simulate``, ``critical-path`` and ``svd`` commands are all
+thin shells over the unified plan API (:mod:`repro.api`).
 """
 
 from __future__ import annotations
@@ -18,6 +23,28 @@ import sys
 from typing import List, Optional, Sequence
 
 import numpy as np
+
+from repro.api import BACKENDS, STAGES, VARIANTS
+from repro.config import PRESETS
+from repro.trees import TREE_REGISTRY
+
+_TREE_CHOICES = sorted(TREE_REGISTRY)
+_VARIANT_CHOICES = list(VARIANTS)
+
+
+def _add_plan_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by every plan-backed command."""
+    parser.add_argument("--tree", default=None, choices=_TREE_CHOICES,
+                        help="reduction tree (default: greedy)")
+    parser.add_argument("--variant", default="auto", choices=_VARIANT_CHOICES,
+                        help="BIDIAG / R-BIDIAG / Chan auto-crossover")
+    parser.add_argument("--n-cores", type=int, default=1,
+                        help="cores per node (AUTO-tree hint / simulator cores)")
+    parser.add_argument("--nodes", type=int, default=1, help="node count")
+    parser.add_argument("--machine", default="miriel", choices=sorted(PRESETS),
+                        help="machine preset")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed of the generated input matrix")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,6 +61,26 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--csv", help="write the result rows to this CSV file")
     run.add_argument("--json", help="write the result rows to this JSON file")
     run.add_argument("--markdown", action="store_true", help="print a markdown table")
+    run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one experiment parameter (repeatable)",
+    )
+
+    plan = sub.add_parser(
+        "plan", help="run one SvdPlan through the numeric / dag / simulate backends"
+    )
+    plan.add_argument("--m", type=int, required=True, help="matrix rows")
+    plan.add_argument("--n", type=int, required=True, help="matrix columns")
+    plan.add_argument("--stage", default="ge2val", choices=list(STAGES))
+    plan.add_argument("--backend", default="numeric",
+                      choices=[*BACKENDS, "all"])
+    plan.add_argument("--tile-size", type=int, default=None,
+                      help="tile size nb (default: config-driven)")
+    plan.add_argument("--json", help="write the result row(s) to this JSON file")
+    _add_plan_arguments(plan)
 
     cp = sub.add_parser("critical-path", help="critical paths of BIDIAG / R-BIDIAG")
     cp.add_argument("p", type=int, help="tile rows")
@@ -47,8 +94,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--nodes", type=int, default=1)
     sim.add_argument("--cores", type=int, default=24)
     sim.add_argument("--nb", type=int, default=160)
-    sim.add_argument("--tree", default="auto", choices=["flatts", "flattt", "greedy", "auto"])
-    sim.add_argument("--algorithm", default="auto", choices=["auto", "bidiag", "rbidiag"])
+    sim.add_argument("--tree", default="auto", choices=_TREE_CHOICES)
+    sim.add_argument("--algorithm", default="auto", choices=_VARIANT_CHOICES)
     sim.add_argument("--ge2val", action="store_true", help="include BND2BD + BD2VAL stages")
 
     svd = sub.add_parser("svd", help="singular values via the numeric tiled pipeline")
@@ -56,8 +103,10 @@ def _build_parser() -> argparse.ArgumentParser:
     svd.add_argument("--m", type=int, default=120)
     svd.add_argument("--n", type=int, default=80)
     svd.add_argument("--tile-size", type=int, default=20)
-    svd.add_argument("--tree", default="greedy")
-    svd.add_argument("--variant", default="auto", choices=["auto", "bidiag", "rbidiag"])
+    svd.add_argument("--tree", default="greedy", choices=_TREE_CHOICES)
+    svd.add_argument("--variant", default="auto", choices=_VARIANT_CHOICES)
+    svd.add_argument("--n-cores", type=int, default=1,
+                     help="AUTO-tree parallelism hint")
     svd.add_argument("--seed", type=int, default=0)
 
     return parser
@@ -71,16 +120,35 @@ def _cmd_list() -> int:
     return 0
 
 
+def _parse_params(pairs: Sequence[str]) -> dict:
+    """Parse repeated ``KEY=VALUE`` overrides, with literal values."""
+    import ast
+
+    params = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--param expects KEY=VALUE, got {pair!r}")
+        try:
+            params[key.replace("-", "_")] = ast.literal_eval(raw)
+        except (SyntaxError, ValueError):
+            params[key.replace("-", "_")] = raw
+    return params
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.experiments.figures import format_rows
     from repro.experiments.registry import run_experiment
     from repro.utils.io import rows_to_markdown, save_rows_csv, save_rows_json
 
     try:
-        rows = run_experiment(args.experiment)
+        rows = run_experiment(args.experiment, **_parse_params(args.param))
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    except TypeError as exc:
+        # Bad --param name/value for this experiment's runner signature.
+        return _user_error("run", exc)
     if args.markdown:
         print(rows_to_markdown(rows))
     else:
@@ -94,63 +162,133 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _user_error(command: str, exc: Exception) -> int:
+    print(f"repro {command}: error: {exc}", file=sys.stderr)
+    return 2
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.api import SvdPlan, execute
+
+    try:
+        plan = SvdPlan(
+            m=args.m,
+            n=args.n,
+            stage=args.stage,
+            variant=args.variant,
+            tree=args.tree,
+            tile_size=args.tile_size,
+            n_cores=args.n_cores,
+            n_nodes=args.nodes,
+            machine=args.machine,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        return _user_error("plan", exc)
+    backends = list(BACKENDS) if args.backend == "all" else [args.backend]
+    rows = []
+    for backend in backends:
+        try:
+            result = execute(plan, backend=backend)
+        except ValueError as exc:
+            if args.backend == "all":
+                # A backend that cannot model this stage (e.g. gesvd under
+                # the simulator) is skipped, not fatal, when sweeping all.
+                print(f"(skipped {backend}: {exc})")
+                continue
+            return _user_error("plan", exc)
+        if rows:
+            print()
+        print(result.summary())
+        rows.append(result.to_row())
+    if args.json:
+        from repro.utils.io import save_rows_json
+
+        save_rows_json(rows, args.json)
+        print(f"wrote {len(rows)} rows to {args.json}")
+    return 0
+
+
 def _cmd_critical_path(args: argparse.Namespace) -> int:
     from repro.analysis.formulas import bidiag_cp, rbidiag_cp
-    from repro.dag.critical_path import critical_path_length
-    from repro.dag.tracer import trace_bidiag, trace_rbidiag
-    from repro.trees import make_tree
+    from repro.api import SvdPlan, execute
 
-    tree = make_tree(args.tree)
+    # tile_size=1 makes the element shape equal the tile shape, so one DAG
+    # plan covers the (p, q) tile-level studies of Section IV.
+    try:
+        plan = SvdPlan(
+            m=args.p,
+            n=args.q,
+            tile_size=1,
+            tree=args.tree,
+            variant=args.algorithm,
+            stage="ge2bnd",
+        )
+        result = execute(plan, backend="dag")
+    except ValueError as exc:
+        return _user_error("critical-path", exc)
     if args.algorithm == "bidiag":
         formula = bidiag_cp(args.p, args.q, args.tree)
-        measured = critical_path_length(trace_bidiag(args.p, args.q, tree))
     else:
         formula = rbidiag_cp(args.p, args.q, args.tree)
-        measured = critical_path_length(trace_rbidiag(args.p, args.q, tree))
     print(f"algorithm      : {args.algorithm}")
     print(f"tree           : {args.tree}")
     print(f"tiles          : {args.p} x {args.q}")
     print(f"closed form    : {formula}")
-    print(f"measured (DAG) : {measured:.0f}")
+    print(f"measured (DAG) : {result.critical_path:.0f}")
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.runtime.machine import Machine
-    from repro.runtime.simulator import simulate_ge2bnd, simulate_ge2val
+    from repro.api import SvdPlan, execute
 
-    machine = Machine(n_nodes=args.nodes, cores_per_node=args.cores, tile_size=args.nb)
-    if args.ge2val:
-        result = simulate_ge2val(args.m, args.n, machine, tree=args.tree, algorithm=args.algorithm)
-    else:
-        algorithm = args.algorithm if args.algorithm != "auto" else (
-            "rbidiag" if 3 * args.m >= 5 * args.n else "bidiag"
+    try:
+        plan = SvdPlan(
+            m=args.m,
+            n=args.n,
+            stage="ge2val" if args.ge2val else "ge2bnd",
+            variant=args.algorithm,
+            tree=args.tree,
+            tile_size=args.nb,
+            n_cores=args.cores,
+            n_nodes=args.nodes,
         )
-        result = simulate_ge2bnd(args.m, args.n, machine, tree=args.tree, algorithm=algorithm)
-    print(result)
-    print(f"tasks          : {result.n_tasks}")
-    print(f"messages       : {result.messages}")
-    print(f"time (s)       : {result.time_seconds:.4f}")
-    print(f"GFlop/s        : {result.gflops:.1f}")
+        result = execute(plan, backend="simulate")
+    except ValueError as exc:
+        return _user_error("simulate", exc)
+    print(result.summary())
     return 0
 
 
 def _cmd_svd(args: argparse.Namespace) -> int:
-    from repro.algorithms.svd import ge2val
+    from repro.api import SvdPlan, execute
 
-    if args.input:
-        a = np.load(args.input)
-    else:
-        rng = np.random.default_rng(args.seed)
-        a = rng.standard_normal((args.m, args.n))
-    sv = ge2val(a, tile_size=args.tile_size, tree=args.tree, variant=args.variant)
-    ref = np.linalg.svd(a, compute_uv=False)
-    err = float(np.max(np.abs(sv - ref)) / ref[0])
-    print(f"matrix          : {a.shape[0]} x {a.shape[1]}")
-    print(f"largest sigma   : {sv[0]:.6e}")
-    print(f"smallest sigma  : {sv[-1]:.6e}")
-    print(f"max rel error   : {err:.3e} (vs numpy.linalg.svd)")
-    return 0 if err < 1e-8 else 1
+    try:
+        if args.input:
+            plan = SvdPlan(
+                matrix=np.load(args.input),
+                stage="ge2val",
+                variant=args.variant,
+                tree=args.tree,
+                tile_size=args.tile_size,
+                n_cores=args.n_cores,
+            )
+        else:
+            plan = SvdPlan(
+                m=args.m,
+                n=args.n,
+                seed=args.seed,
+                stage="ge2val",
+                variant=args.variant,
+                tree=args.tree,
+                tile_size=args.tile_size,
+                n_cores=args.n_cores,
+            )
+        result = execute(plan, backend="numeric")
+    except ValueError as exc:
+        return _user_error("svd", exc)
+    print(result.summary())
+    return 0 if result.max_rel_error < 1e-8 else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -160,6 +298,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "plan":
+        return _cmd_plan(args)
     if args.command == "critical-path":
         return _cmd_critical_path(args)
     if args.command == "simulate":

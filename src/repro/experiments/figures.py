@@ -328,3 +328,47 @@ def fig4_weak_scaling(
                 }
             )
     return rows
+
+
+# --------------------------------------------------------------------------- #
+# Plan-API sweeps (the surface future batching / sharding layers run against)
+# --------------------------------------------------------------------------- #
+def plan_tree_sweep(
+    m: int = 4000,
+    n: int = 4000,
+    tile_size: int = 250,
+    n_cores: int = 24,
+    trees: Sequence[str] = ("flatts", "flattt", "greedy", "auto"),
+) -> List[Row]:
+    """Simulated GE2BND GFlop/s for each reduction tree, via a plan sweep.
+
+    Same quantity as the Figure-2 panels, but expressed as a
+    :meth:`~repro.api.SvdPlan.sweep` over the unified plan API instead of
+    hand-rolled loops.
+    """
+    from repro.api import SvdPlan, execute_sweep
+
+    if full_scale():
+        m = n = 20000
+        tile_size = 160
+    base = SvdPlan(
+        m=m, n=n, stage="ge2bnd", tile_size=tile_size, n_cores=n_cores
+    )
+    return execute_sweep(base.sweep(tree=list(trees)), backend="simulate")
+
+
+def plan_backend_matrix(
+    m: int = 60,
+    n: int = 40,
+    tile_size: int = 10,
+    tree: str = "greedy",
+) -> List[Row]:
+    """One small plan run through all three backends, side by side.
+
+    Demonstrates (and regression-checks) that the numeric, DAG and
+    simulation lenses of the paper agree on one problem description.
+    """
+    from repro.api import BACKENDS, SvdPlan, execute
+
+    plan = SvdPlan(m=m, n=n, stage="ge2val", tile_size=tile_size, tree=tree)
+    return [execute(plan, backend=backend).to_row() for backend in BACKENDS]

@@ -2,15 +2,20 @@
 
 Maps a stable experiment identifier (``table1``, ``fig2-ge2bnd-square``, …)
 to the driver function of :mod:`repro.experiments.figures` that regenerates
-its data, together with a short description and the paper location.  Used
-by the command-line interface (``python -m repro run <experiment>``) and by
-the benchmark harness documentation.
+its data, together with a short description, the paper location and the
+experiment's default parameters.  Experiments are *parameterized*: each
+entry stores a ``runner`` plus a ``params`` mapping, and
+:func:`run_experiment` merges caller overrides into the defaults — which is
+what lets the CLI (``python -m repro run <experiment> --param n=4000``) and
+future sweep/batching layers re-scale any experiment without new code.
+Plan-level sweeps (built on :meth:`repro.api.SvdPlan.sweep`) register
+through the same mechanism.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments import figures
 
@@ -30,14 +35,22 @@ class Experiment:
     description:
         One-line summary of what it shows.
     runner:
-        Zero-argument callable returning the result rows (scaled-down
-        defaults; ``REPRO_FULL_SCALE=1`` switches to the paper's sizes).
+        Callable returning the result rows.  Called with ``params`` (merged
+        with any caller overrides); scaled-down defaults, with
+        ``REPRO_FULL_SCALE=1`` switching to the paper's sizes.
+    params:
+        Default keyword arguments of ``runner``.
     """
 
     key: str
     paper_ref: str
     description: str
-    runner: Callable[[], List[Row]]
+    runner: Callable[..., List[Row]]
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def run(self, **overrides) -> List[Row]:
+        """Run with the default parameters, merged with ``overrides``."""
+        return self.runner(**{**dict(self.params), **overrides})
 
 
 def _experiments() -> List[Experiment]:
@@ -70,13 +83,15 @@ def _experiments() -> List[Experiment]:
             key="fig2-ge2bnd-ts2000",
             paper_ref="Figure 2 (top-middle)",
             description="Shared-memory GE2BND on tall-skinny matrices, n=2000",
-            runner=lambda: figures.fig2_ge2bnd_tall_skinny(n=2000),
+            runner=figures.fig2_ge2bnd_tall_skinny,
+            params={"n": 2000},
         ),
         Experiment(
             key="fig2-ge2bnd-ts10000",
             paper_ref="Figure 2 (top-right)",
             description="Shared-memory GE2BND on tall-skinny matrices, n=10000",
-            runner=lambda: figures.fig2_ge2bnd_tall_skinny(n=10000),
+            runner=figures.fig2_ge2bnd_tall_skinny,
+            params={"n": 10000},
         ),
         Experiment(
             key="fig2-ge2val",
@@ -100,13 +115,27 @@ def _experiments() -> List[Experiment]:
             key="fig4-weak-n2000",
             paper_ref="Figure 4 (row 1)",
             description="Weak scaling on (80000 x nodes) x 2000 matrices",
-            runner=lambda: figures.fig4_weak_scaling(n=2000),
+            runner=figures.fig4_weak_scaling,
+            params={"n": 2000},
         ),
         Experiment(
             key="fig4-weak-n10000",
             paper_ref="Figure 4 (row 2)",
             description="Weak scaling on (100000 x nodes) x 10000 matrices",
-            runner=lambda: figures.fig4_weak_scaling(n=10000, node_counts=(1, 2, 4)),
+            runner=figures.fig4_weak_scaling,
+            params={"n": 10000, "node_counts": (1, 2, 4)},
+        ),
+        Experiment(
+            key="plan-tree-sweep",
+            paper_ref="Section VI-B (plan API)",
+            description="SvdPlan sweep: simulated GE2BND GFlop/s per tree on one node",
+            runner=figures.plan_tree_sweep,
+        ),
+        Experiment(
+            key="plan-backend-matrix",
+            paper_ref="Sections III-VI (plan API)",
+            description="One SvdPlan through the numeric, dag and simulate backends",
+            runner=figures.plan_backend_matrix,
         ),
     ]
 
@@ -130,6 +159,6 @@ def list_experiments() -> List[Experiment]:
     return list(REGISTRY.values())
 
 
-def run_experiment(key: str) -> List[Row]:
-    """Run one experiment and return its rows."""
-    return get_experiment(key).runner()
+def run_experiment(key: str, **overrides) -> List[Row]:
+    """Run one experiment with optional parameter overrides."""
+    return get_experiment(key).run(**overrides)

@@ -26,7 +26,6 @@ from repro.runtime.machine import Machine
 from repro.runtime.scheduler import ListScheduler, Schedule
 from repro.tiles.distribution import BlockCyclicDistribution, ProcessGrid
 from repro.tiles.layout import ceil_div
-from repro.trees import AutoTree, HierarchicalTree, make_tree
 from repro.trees.base import ReductionTree
 
 
@@ -69,30 +68,29 @@ def _resolve_sim_tree(
 ) -> ReductionTree:
     """Resolve a tree spec for simulation purposes.
 
-    String names map to the shared-memory trees; for multi-node machines the
-    tree is wrapped into the paper's hierarchical configuration (flat top
-    tree for FlatTS/FlatTT, greedy top tree for Greedy/Auto).
+    Delegates to the shared resolver (:mod:`repro.api.resolver`): string
+    names map to the shared-memory trees; for multi-node machines the tree
+    is wrapped into the paper's hierarchical configuration (flat top tree
+    for FlatTS/FlatTT, greedy top tree for Greedy/Auto).  Imported lazily
+    to keep :mod:`repro.runtime` importable on its own.
     """
-    if isinstance(tree, ReductionTree):
-        return tree
-    name = tree.strip().lower()
-    if name == "auto":
-        base: ReductionTree = AutoTree(n_cores=machine.cores_per_node)
-    else:
-        base = make_tree(name)
-    if machine.n_nodes == 1:
-        return base
-    top = "flat" if name in ("flatts", "flattt") else "greedy"
-    grid = ProcessGrid.for_square_matrix(machine.n_nodes) if p < 2 * q else ProcessGrid.for_tall_skinny_matrix(machine.n_nodes)
-    return HierarchicalTree(local_tree=base, top=top, grid_rows=grid.rows)
+    from repro.api.resolver import resolve_distributed_tree
+
+    return resolve_distributed_tree(
+        tree,
+        n_nodes=machine.n_nodes,
+        n_cores=machine.cores_per_node,
+        p=p,
+        q=q,
+    )
 
 
 def _default_grid(machine: Machine, p: int, q: int) -> ProcessGrid:
     """The process grid the paper uses: near-square for square matrices,
     ``nodes x 1`` for tall-and-skinny matrices."""
-    if p >= 2 * q:
-        return ProcessGrid.for_tall_skinny_matrix(machine.n_nodes)
-    return ProcessGrid.for_square_matrix(machine.n_nodes)
+    from repro.api.resolver import default_grid
+
+    return default_grid(machine.n_nodes, p, q)
 
 
 def simulate_graph(
@@ -201,7 +199,9 @@ def simulate_ge2val(
     paper either), which is what caps the distributed GE2VAL scaling.
     """
     if algorithm == "auto":
-        algorithm = "rbidiag" if 3 * m >= 5 * n else "bidiag"
+        from repro.api.resolver import resolve_variant
+
+        algorithm = resolve_variant(algorithm, m, n)
     base = simulate_ge2bnd(m, n, machine, tree=tree, algorithm=algorithm)
     post = post_processing_seconds(n, machine)
     total = base.time_seconds + post

@@ -1,0 +1,166 @@
+"""Backend parity and shim-equivalence tests for the unified plan API."""
+
+import numpy as np
+import pytest
+
+from repro.api import BACKENDS, RunResult, SvdPlan, execute, execute_sweep, resolve
+from repro.algorithms.gesvd_pipeline import gesvd_two_stage
+from repro.algorithms.svd import ge2bnd, ge2val, gesvd
+
+
+def _sv(a):
+    return np.linalg.svd(a, compute_uv=False)
+
+
+class TestNumericBackend:
+    def test_matches_numpy(self):
+        plan = SvdPlan(m=48, n=32, tile_size=8, seed=3)
+        result = execute(plan, backend="numeric")
+        assert isinstance(result, RunResult)
+        assert result.max_rel_error < 1e-12
+        a = resolve(plan).build_matrix()
+        np.testing.assert_allclose(
+            result.singular_values, _sv(a), atol=1e-9 * np.linalg.norm(a)
+        )
+
+    def test_stage_timings_present(self):
+        result = execute(SvdPlan(m=30, n=20, tile_size=5), backend="numeric")
+        assert set(result.stage_seconds) == {"ge2bnd", "bnd2bd", "bd2val"}
+        assert result.time_seconds == pytest.approx(sum(result.stage_seconds.values()))
+
+    def test_ge2bnd_stage_returns_band(self):
+        result = execute(
+            SvdPlan(m=24, n=16, tile_size=4, stage="ge2bnd"), backend="numeric"
+        )
+        assert result.singular_values is None
+        band = result.extras["band"]
+        plan_input = resolve(SvdPlan(m=24, n=16, tile_size=4, stage="ge2bnd")).build_matrix()
+        np.testing.assert_allclose(_sv(band.to_dense()), _sv(plan_input), atol=1e-9)
+
+    def test_gesvd_stage_reconstructs(self):
+        plan = SvdPlan(m=24, n=16, tile_size=4, stage="gesvd", seed=5)
+        result = execute(plan, backend="numeric")
+        a = resolve(plan).build_matrix()
+        approx = result.u @ np.diag(result.singular_values) @ result.vt
+        np.testing.assert_allclose(approx, a, atol=1e-9 * np.linalg.norm(a))
+        assert "ge2bnd" in result.stage_seconds and "compose" in result.stage_seconds
+
+
+class TestBackendParity:
+    def test_one_plan_all_backends(self):
+        """Acceptance: one plan runs unchanged through all three backends."""
+        plan = SvdPlan(m=48, n=32, tile_size=8, stage="ge2val", tree="greedy")
+        results = {b: execute(plan, backend=b) for b in BACKENDS}
+        assert all(isinstance(r, RunResult) for r in results.values())
+        assert results["numeric"].max_rel_error < 1e-12
+        assert results["dag"].critical_path > 0
+        assert results["simulate"].gflops > 0
+
+    @pytest.mark.parametrize(
+        "plan",
+        [
+            SvdPlan(m=48, n=48, tile_size=8, stage="ge2bnd"),
+            SvdPlan(m=120, n=24, tile_size=8, stage="ge2bnd", tree="flattt"),
+            SvdPlan(m=4000, n=1000, tile_size=200, stage="ge2bnd",
+                    n_nodes=4, n_cores=8, tree="greedy"),
+            SvdPlan(m=2000, n=2000, tile_size=250, stage="ge2bnd",
+                    n_cores=24, tree="auto"),
+        ],
+    )
+    def test_dag_and_simulator_trace_same_graph(self, plan):
+        dag = execute(plan, backend="dag")
+        sim = execute(plan, backend="simulate")
+        assert dag.n_tasks == sim.n_tasks
+        assert dag.variant == sim.variant
+        assert (dag.p, dag.q) == (sim.p, sim.q)
+
+    def test_gesvd_rejected_by_non_numeric_backends(self):
+        plan = SvdPlan(m=16, n=16, tile_size=4, stage="gesvd")
+        with pytest.raises(ValueError, match="numeric"):
+            execute(plan, backend="dag")
+        with pytest.raises(ValueError, match="numeric"):
+            execute(plan, backend="simulate")
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            execute(SvdPlan(m=8, n=8), backend="quantum")
+
+
+class TestShimEquivalence:
+    """The legacy drivers and the plan API must produce identical numbers."""
+
+    def test_ge2val_bitwise(self, rng):
+        a = rng.standard_normal((48, 32))
+        legacy = ge2val(a, tile_size=8, tree="greedy", variant="bidiag")
+        result = execute(
+            SvdPlan(matrix=a, tile_size=8, tree="greedy", variant="bidiag"),
+            backend="numeric",
+        )
+        np.testing.assert_array_equal(legacy, result.singular_values)
+
+    def test_ge2val_auto_variant(self, rng):
+        a = rng.standard_normal((80, 16))  # clearly tall-skinny: rbidiag both ways
+        legacy = ge2val(a, tile_size=8)
+        result = execute(SvdPlan(matrix=a, tile_size=8), backend="numeric")
+        assert result.variant == "rbidiag"
+        np.testing.assert_array_equal(legacy, result.singular_values)
+
+    def test_ge2bnd_bitwise(self, rng):
+        a = rng.standard_normal((24, 16))
+        band_legacy, _, _ = ge2bnd(a, tile_size=4, variant="bidiag")
+        result = execute(
+            SvdPlan(matrix=a, tile_size=4, variant="bidiag", stage="ge2bnd"),
+            backend="numeric",
+        )
+        np.testing.assert_array_equal(
+            band_legacy.to_dense(), result.extras["band"].to_dense()
+        )
+
+    def test_gesvd_two_stage_bitwise(self, rng):
+        a = rng.standard_normal((24, 16))
+        legacy = gesvd_two_stage(a, tile_size=4, variant="bidiag")
+        result = execute(
+            SvdPlan(matrix=a, tile_size=4, variant="bidiag", stage="gesvd"),
+            backend="numeric",
+        )
+        np.testing.assert_array_equal(legacy.singular_values, result.singular_values)
+        np.testing.assert_array_equal(legacy.u, result.u)
+        np.testing.assert_array_equal(legacy.vt, result.vt)
+
+    def test_gesvd_jacobi_shim_still_works(self, rng):
+        a = rng.standard_normal((24, 16))
+        u, s, vt = gesvd(a, tile_size=4)
+        np.testing.assert_allclose(
+            u @ np.diag(s) @ vt, a, atol=1e-9 * np.linalg.norm(a)
+        )
+
+    def test_simulate_matches_legacy_driver(self):
+        from repro.runtime.machine import Machine
+        from repro.runtime.simulator import simulate_ge2val
+
+        machine = Machine(n_nodes=2, cores_per_node=8, tile_size=200)
+        legacy = simulate_ge2val(4000, 1000, machine, tree="greedy", algorithm="auto")
+        result = execute(
+            SvdPlan(m=4000, n=1000, tile_size=200, n_nodes=2, n_cores=8,
+                    tree="greedy", stage="ge2val"),
+            backend="simulate",
+        )
+        assert result.time_seconds == pytest.approx(legacy.time_seconds)
+        assert result.gflops == pytest.approx(legacy.gflops)
+        assert result.n_tasks == legacy.n_tasks
+        assert result.messages == legacy.messages
+
+
+class TestSweepExecution:
+    def test_execute_sweep_rows(self):
+        base = SvdPlan(m=1000, n=1000, tile_size=250, stage="ge2bnd", n_cores=8)
+        rows = execute_sweep(base.sweep(tree=["flatts", "greedy"]))
+        assert len(rows) == 2
+        assert {row["tree"] for row in rows} == {"flatts", "greedy"}
+        assert all(row["gflops"] > 0 for row in rows)
+
+    def test_to_row_flattens_scalars(self):
+        row = execute(SvdPlan(m=30, n=20, tile_size=5), backend="numeric").to_row()
+        assert row["backend"] == "numeric"
+        assert "max_rel_error" in row and "seconds_ge2bnd" in row
+        assert not any(isinstance(v, np.ndarray) for v in row.values())
