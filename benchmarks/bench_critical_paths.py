@@ -4,9 +4,7 @@ Regenerates the critical-path comparison (measured DAG vs closed forms) for
 the three analysed trees, and the asymptotic statements of Theorem 1.
 """
 
-import math
 
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.analysis.crossover import measured_bidiag_cp, measured_rbidiag_cp

@@ -13,7 +13,6 @@ the paper's sweep); the assertions target the *shape* of the figure:
   magnitude behind on square problems.
 """
 
-from collections import defaultdict
 
 from benchmarks.conftest import print_table
 from repro.experiments.figures import (

@@ -13,7 +13,10 @@ effects visible with the simulation tooling:
 * the Amdahl-style GE2VAL bound imposed by the single-node BND2BD stage.
 
 Run:  python examples/communication_study.py
+      (REPRO_EXAMPLE_FAST=1 shrinks the problem sizes for smoke tests)
 """
+
+import os
 
 from repro.analysis.communication import communication_volume, panel_messages_estimate
 from repro.analysis.speedup import amdahl_ge2val_bound, speedup_bounds, strong_scaling_efficiency
@@ -24,6 +27,9 @@ from repro.runtime.simulator import post_processing_seconds, simulate_ge2bnd, si
 from repro.runtime.trace import gantt_chart, utilization_report
 from repro.tiles.distribution import BlockCyclicDistribution, ProcessGrid
 from repro.trees import GreedyTree, HierarchicalTree
+
+
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "0") not in ("", "0")
 
 
 def main() -> None:
@@ -57,16 +63,18 @@ def main() -> None:
           f"measured/Brent = {bounds.brent_gap:.2f}")
     print("\n" + gantt_chart(schedule, graph, machine, width=88, max_lanes=8))
 
-    print("\n== strong scaling of GE2BND vs the GE2VAL Amdahl bound (m=24000, n=6000) ==")
+    sm, sn = (4800, 1200) if FAST else (24000, 6000)
+    node_counts = (1, 4) if FAST else (1, 4, 9)
+    print(f"\n== strong scaling of GE2BND vs the GE2VAL Amdahl bound (m={sm}, n={sn}) ==")
     times = {}
-    for n_nodes in (1, 4, 9):
+    for n_nodes in node_counts:
         mach = Machine(n_nodes=n_nodes, cores_per_node=24, tile_size=160)
-        sim = simulate_ge2bnd(24000, 6000, mach, tree="auto", algorithm="rbidiag")
-        ge2val = simulate_ge2val(24000, 6000, mach, tree="auto")
+        sim = simulate_ge2bnd(sm, sn, mach, tree="auto", algorithm="rbidiag")
+        ge2val = simulate_ge2val(sm, sn, mach, tree="auto")
         bound = amdahl_ge2val_bound(
-            simulate_ge2bnd(24000, 6000, Machine(n_nodes=1, cores_per_node=24, tile_size=160),
+            simulate_ge2bnd(sm, sn, Machine(n_nodes=1, cores_per_node=24, tile_size=160),
                             tree="auto", algorithm="rbidiag").time_seconds,
-            post_processing_seconds(6000, mach),
+            post_processing_seconds(sn, mach),
             n_nodes,
         )
         times[n_nodes] = sim.time_seconds

@@ -8,7 +8,10 @@ flat/greedy tree across nodes), owner-computes task mapping and per-tile
 message costs.
 
 Run:  python examples/distributed_simulation.py
+      (REPRO_EXAMPLE_FAST=1 shrinks the problem sizes for smoke tests)
 """
+
+import os
 
 from repro.experiments.figures import format_rows
 from repro.models.competitors import COMPETITORS
@@ -71,7 +74,16 @@ def weak_scaling(n: int, rows_per_node: int, node_counts) -> None:
     print(format_rows(rows))
 
 
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "0") not in ("", "0")
+
+
 def main() -> None:
+    if FAST:
+        node_counts = (1, 4)
+        strong_scaling(1600, 1600, node_counts)
+        ge2val_vs_competitors(1600, 1600, node_counts)
+        weak_scaling(800, 1600, (1, 2))
+        return
     node_counts = (1, 4, 9, 16)
     strong_scaling(8000, 8000, node_counts)
     ge2val_vs_competitors(8000, 8000, node_counts)

@@ -17,7 +17,6 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import ge2val, gesvd
-from repro.algorithms.band import extract_band
 from repro.algorithms.bd2val import bidiagonal_singular_values
 from repro.algorithms.bnd2bd import band_to_bidiagonal
 from repro.algorithms.svd import ge2bnd

@@ -11,7 +11,10 @@ for a given tile shape, how do FLATTS, FLATTT, GREEDY and AUTO differ in
 and how does the picture change between a square and a tall-skinny matrix.
 
 Run:  python examples/tree_study.py
+      (REPRO_EXAMPLE_FAST=1 shrinks the problem sizes for smoke tests)
 """
+
+import os
 
 from repro.dag.critical_path import critical_path_length, critical_path_tasks
 from repro.dag.tracer import trace_bidiag
@@ -78,16 +81,19 @@ def simulated_performance(m: int, n: int) -> None:
     print(format_rows(rows))
 
 
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "0") not in ("", "0")
+
+
 def main() -> None:
     # Square case: GREEDY/FLATTT shine on small sizes, FLATTS on large ones,
     # AUTO adapts.
-    dag_study(16, 16)
-    critical_path_anatomy(16, 16)
-    simulated_performance(5000, 5000)
+    dag_study(8 if FAST else 16, 8 if FAST else 16)
+    critical_path_anatomy(8 if FAST else 16, 8 if FAST else 16)
+    simulated_performance(*((1500, 1500) if FAST else (5000, 5000)))
 
     # Tall-skinny case: R-BIDIAG and AUTO take over.
-    dag_study(48, 6)
-    simulated_performance(24000, 2000)
+    dag_study(24 if FAST else 48, 6)
+    simulated_performance(*((6000, 500) if FAST else (24000, 2000)))
 
 
 if __name__ == "__main__":

@@ -112,7 +112,6 @@ def band_residual(matrix: TiledMatrix, *, n_cols: int | None = None) -> float:
     """
     n = matrix.n if n_cols is None else n_cols
     dense = matrix.to_dense()
-    m = matrix.m
     nb = matrix.nb
     mask = np.ones_like(dense, dtype=bool)
     rows, cols = np.indices(dense.shape)

@@ -15,7 +15,6 @@ into the SVD of the original matrix (see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 

@@ -22,9 +22,8 @@ execute — both come from the same driver code path.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-import numpy as np
 
 from repro.kernels import lq_kernels as lqk
 from repro.kernels import qr_kernels as qrk

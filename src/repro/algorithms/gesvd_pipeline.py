@@ -18,12 +18,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.algorithms.accumulate import accumulate_orthogonal_factors
-from repro.algorithms.band import extract_band
 from repro.algorithms.bdsqr import bdsqr
 from repro.algorithms.bnd2bd_uv import band_to_bidiagonal_uv
 from repro.algorithms.svd import ge2bnd

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.dag.task import TaskGraph
 from repro.tiles.distribution import BlockCyclicDistribution

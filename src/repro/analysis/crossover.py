@@ -18,7 +18,6 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import List
 
-from repro.analysis.formulas import bidiag_cp, rbidiag_cp
 from repro.dag.critical_path import critical_path_length
 from repro.dag.tracer import trace_bidiag, trace_rbidiag
 from repro.trees import FlatTSTree, FlatTTTree, GreedyTree

@@ -26,6 +26,18 @@ from repro.api.resolver import (
 from repro.api.result import RunResult
 from repro.api.execute import BACKENDS, execute, execute_sweep
 
+
+def tune(plan, **kwargs):
+    """Autotune ``plan`` — see :func:`repro.tuning.tune`.
+
+    Re-exported here (lazily, to keep ``repro.api`` import-light) so the
+    plan API reads end to end: build a plan, ``tune`` it, ``execute`` it.
+    """
+    from repro.tuning import tune as _tune
+
+    return _tune(plan, **kwargs)
+
+
 __all__ = [
     "STAGES",
     "VARIANTS",
@@ -36,6 +48,7 @@ __all__ = [
     "resolve",
     "execute",
     "execute_sweep",
+    "tune",
     "as_tiled",
     "chan_prefers_rbidiag",
     "default_tile_size",

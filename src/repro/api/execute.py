@@ -47,6 +47,8 @@ def _base_result(resolved: ResolvedPlan, backend: str) -> RunResult:
         tile_size=resolved.tile_size,
         n_cores=plan.n_cores,
         n_nodes=plan.n_nodes,
+        grid=f"{resolved.grid.rows}x{resolved.grid.cols}",
+        machine=plan.machine,
     )
 
 
@@ -156,6 +158,7 @@ def _execute_simulate(resolved: ResolvedPlan) -> RunResult:
             resolved.machine,
             tree=resolved.tree,
             algorithm=resolved.variant,
+            grid=resolved.grid,
         )
     else:
         sim = simulate_ge2val(
@@ -164,6 +167,7 @@ def _execute_simulate(resolved: ResolvedPlan) -> RunResult:
             resolved.machine,
             tree=resolved.tree,
             algorithm=resolved.variant,
+            grid=resolved.grid,
         )
     result = _base_result(resolved, "simulate")
     result.time_seconds = sim.time_seconds

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, fields, replace
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -63,13 +63,20 @@ class SvdPlan:
     tile_size:
         Tile size ``nb``; ``None`` defers to the resolver's config-driven
         default (``Config.tile_size`` capped so small matrices stay
-        multi-tile).
+        multi-tile); the string ``"auto"`` asks the autotuner
+        (:mod:`repro.tuning`) to pick the best tile size for this problem
+        through the persistent plan cache.
     n_cores:
         Cores per node: the AUTO tree's parallelism hint for the numeric /
         DAG backends, and the per-node core count for the simulator.
     n_nodes:
         Node count (distributed simulation / DAG; the numeric backend is
         shared-memory).
+    grid:
+        Optional explicit process-grid shape ``(rows, cols)`` with
+        ``rows * cols == n_nodes``; ``None`` uses the paper's default for
+        the tile shape (near-square grid, or ``nodes x 1`` when tall and
+        skinny).
     machine:
         Machine preset name (see :data:`repro.config.PRESETS`).
     seed:
@@ -85,9 +92,10 @@ class SvdPlan:
     stage: str = "ge2val"
     variant: str = "auto"
     tree: Union[str, ReductionTree, None] = None
-    tile_size: Optional[int] = None
+    tile_size: Union[int, str, None] = None
     n_cores: int = 1
     n_nodes: int = 1
+    grid: Optional[Tuple[int, int]] = None
     machine: str = "miriel"
     seed: int = 0
     config: Optional[Config] = None
@@ -122,12 +130,29 @@ class SvdPlan:
             raise ValueError(
                 f"unknown reduction tree {self.tree!r}; available: {sorted(TREE_REGISTRY)}"
             )
-        if self.tile_size is not None and self.tile_size < 1:
+        if isinstance(self.tile_size, str):
+            if self.tile_size.strip().lower() != "auto":
+                raise ValueError(
+                    f"tile_size must be an integer, 'auto' or None, got {self.tile_size!r}"
+                )
+            object.__setattr__(self, "tile_size", "auto")
+        elif self.tile_size is not None and self.tile_size < 1:
             raise ValueError(f"tile_size must be >= 1, got {self.tile_size}")
         if self.n_cores < 1:
             raise ValueError(f"n_cores must be >= 1, got {self.n_cores}")
         if self.n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.grid is not None:
+            grid = tuple(int(x) for x in self.grid)
+            if len(grid) != 2 or grid[0] < 1 or grid[1] < 1:
+                raise ValueError(
+                    f"grid must be a (rows, cols) pair of positive ints, got {self.grid!r}"
+                )
+            if grid[0] * grid[1] != self.n_nodes:
+                raise ValueError(
+                    f"grid {grid[0]}x{grid[1]} does not cover n_nodes={self.n_nodes}"
+                )
+            object.__setattr__(self, "grid", grid)
         if self.machine not in PRESETS:
             raise ValueError(
                 f"unknown machine preset {self.machine!r}; known presets: {sorted(PRESETS)}"
@@ -181,6 +206,7 @@ class SvdPlan:
             "tile_size": self.tile_size,
             "n_cores": self.n_cores,
             "n_nodes": self.n_nodes,
+            "grid": f"{self.grid[0]}x{self.grid[1]}" if self.grid else None,
             "machine": self.machine,
             "seed": self.seed,
         }

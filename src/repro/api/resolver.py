@@ -136,14 +136,15 @@ def resolve_distributed_tree(
     p: int,
     q: int,
     config: Optional[Config] = None,
+    grid: Optional[ProcessGrid] = None,
 ) -> ReductionTree:
     """Canonicalize a tree spec for an ``n_nodes``-node machine.
 
     Explicit instances pass through unchanged.  Named trees map to the
     shared-memory trees on one node; on several nodes they are wrapped in
     the paper's hierarchical configuration (flat top tree for
-    FlatTS/FlatTT, greedy top tree for Greedy/Auto) over the default
-    process grid for the ``p x q`` tile shape.
+    FlatTS/FlatTT, greedy top tree for Greedy/Auto) over ``grid`` — or the
+    default process grid for the ``p x q`` tile shape when ``None``.
     """
     if isinstance(tree, ReductionTree):
         return tree
@@ -152,7 +153,8 @@ def resolve_distributed_tree(
         return base
     name = (tree or "greedy").strip().lower()
     top = "flat" if name in ("flatts", "flattt") else "greedy"
-    grid = default_grid(n_nodes, p, q)
+    if grid is None:
+        grid = default_grid(n_nodes, p, q)
     return HierarchicalTree(local_tree=base, top=top, grid_rows=grid.rows)
 
 
@@ -223,16 +225,23 @@ def resolve(plan: SvdPlan, config: Optional[Config] = None) -> ResolvedPlan:
     m, n = plan.m, plan.n
     if isinstance(plan.matrix, TiledMatrix):
         tile_size = plan.matrix.nb
-        if plan.tile_size is not None and plan.tile_size != tile_size:
+        if plan.tile_size not in (None, tile_size):
             raise ValueError(
                 f"tile_size={plan.tile_size} disagrees with the tiled input's nb={tile_size}"
             )
+    elif plan.tile_size == "auto":
+        # The autotuner picks nb (through the persistent plan cache, so
+        # repeated resolutions of the same problem are O(1)).  Imported
+        # lazily: repro.tuning builds on this module.
+        from repro.tuning import resolve_auto_tile_size
+
+        tile_size = resolve_auto_tile_size(plan, config=config)
     elif plan.tile_size is not None:
         tile_size = plan.tile_size
     else:
         tile_size = default_tile_size(m, n, config)
     p, q = ceil_div(m, tile_size), ceil_div(n, tile_size)
-    grid = default_grid(plan.n_nodes, p, q)
+    grid = ProcessGrid(*plan.grid) if plan.grid else default_grid(plan.n_nodes, p, q)
     tree = resolve_distributed_tree(
         plan.tree,
         n_nodes=plan.n_nodes,
@@ -240,12 +249,14 @@ def resolve(plan: SvdPlan, config: Optional[Config] = None) -> ResolvedPlan:
         p=p,
         q=q,
         config=config,
+        grid=grid,
     )
     machine = Machine(
         n_nodes=plan.n_nodes,
         cores_per_node=plan.n_cores,
         tile_size=tile_size,
         preset=get_preset(plan.machine),
+        inner_block=config.inner_block,
     )
     return ResolvedPlan(
         plan=plan,

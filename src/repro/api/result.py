@@ -44,6 +44,8 @@ class RunResult:
     tile_size: int
     n_cores: int
     n_nodes: int
+    grid: str = "1x1"
+    machine: str = "miriel"
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     time_seconds: Optional[float] = None
     gflops: Optional[float] = None
@@ -71,6 +73,8 @@ class RunResult:
             "tile_size": self.tile_size,
             "n_cores": self.n_cores,
             "n_nodes": self.n_nodes,
+            "grid": self.grid,
+            "machine": self.machine,
         }
         for key in ("time_seconds", "gflops", "n_tasks", "messages", "comm_bytes",
                     "critical_path", "max_rel_error"):
@@ -90,7 +94,8 @@ class RunResult:
             f"(tiles {self.p} x {self.q}, nb={self.tile_size})",
             f"variant        : {self.variant}",
             f"tree           : {self.tree}",
-            f"machine        : {self.n_nodes} node(s) x {self.n_cores} core(s)",
+            f"machine        : {self.n_nodes} node(s) x {self.n_cores} core(s) "
+            f"({self.machine}, grid {self.grid})",
         ]
         if self.n_tasks is not None:
             lines.append(f"tasks          : {self.n_tasks}")

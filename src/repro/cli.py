@@ -7,6 +7,8 @@ without writing any Python:
 * ``run <key>``       — run one experiment and print / save its rows;
 * ``plan``            — build one :class:`~repro.api.plan.SvdPlan` and run
   it through any backend (``numeric`` / ``dag`` / ``simulate`` / ``all``);
+* ``tune``            — autotune a plan (tile size, tree, variant, grid)
+  with the :mod:`repro.tuning` subsystem and its persistent plan cache;
 * ``critical-path``   — closed-form and DAG-measured critical paths;
 * ``simulate``        — one runtime simulation (GE2BND or GE2VAL);
 * ``svd``             — compute singular values of a random or ``.npy`` matrix
@@ -81,6 +83,44 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="tile size nb (default: config-driven)")
     plan.add_argument("--json", help="write the result row(s) to this JSON file")
     _add_plan_arguments(plan)
+
+    tune = sub.add_parser(
+        "tune", help="autotune tile size / tree / variant / grid for one problem"
+    )
+    tune.add_argument("--m", type=int, required=True, help="matrix rows")
+    tune.add_argument("--n", type=int, required=True, help="matrix columns")
+    tune.add_argument("--stage", default="ge2val",
+                      choices=[s for s in STAGES if s != "gesvd"])
+    tune.add_argument("--objective", default="makespan",
+                      help="scoring objective (see repro.tuning.OBJECTIVES)")
+    tune.add_argument("--strategy", default="grid", choices=["grid", "halving"])
+    tune.add_argument("--workers", type=int, default=1,
+                      help="parallel candidate evaluations (concurrent.futures)")
+    tune.add_argument("--tile-sizes", default=None,
+                      help="comma-separated nb candidates (default: problem-derived)")
+    tune.add_argument("--inner-blocks", default=None,
+                      help="comma-separated ib candidates (default: config value)")
+    tune.add_argument("--trees", default=None,
+                      help="comma-separated tree names (default: flatts,flattt,greedy,auto)")
+    tune.add_argument("--variants", default=None,
+                      help="comma-separated variants (default: bidiag,rbidiag)")
+    tune.add_argument("--no-prune", action="store_true",
+                      help="disable analytic-model pruning (exhaustive evaluation)")
+    tune.add_argument("--no-cache", action="store_true",
+                      help="do not read or write the persistent plan cache")
+    tune.add_argument("--force", action="store_true",
+                      help="re-tune even on a plan-cache hit (refreshes the entry)")
+    tune.add_argument("--clear-cache", action="store_true",
+                      help="clear the plan cache and exit")
+    tune.add_argument("--cache-file", default=None,
+                      help="plan cache location (default: $REPRO_TUNE_CACHE or "
+                           "~/.cache/repro/plan_cache.json)")
+    tune.add_argument("--json", help="write the evaluation rows to this JSON file")
+    tune.add_argument("--n-cores", type=int, default=24,
+                      help="cores per node (default: 24, the paper's miriel node)")
+    tune.add_argument("--nodes", type=int, default=1, help="node count")
+    tune.add_argument("--machine", default="miriel", choices=sorted(PRESETS),
+                      help="machine preset")
 
     cp = sub.add_parser("critical-path", help="critical paths of BIDIAG / R-BIDIAG")
     cp.add_argument("p", type=int, help="tile rows")
@@ -209,6 +249,82 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_int_list(raw: Optional[str]) -> Optional[List[int]]:
+    if raw is None:
+        return None
+    return [int(v) for v in raw.split(",") if v.strip()]
+
+
+def _parse_name_list(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [v.strip().lower() for v in raw.split(",") if v.strip()]
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from repro.api import SvdPlan
+    from repro.experiments.figures import format_rows
+    from repro.tuning import (
+        GridSearch,
+        PlanCache,
+        SearchSpace,
+        SuccessiveHalving,
+        tune,
+    )
+
+    cache = PlanCache(args.cache_file) if args.cache_file else PlanCache()
+    if args.clear_cache:
+        removed = cache.clear()
+        print(f"cleared {removed} cached plan(s) from {cache.path}")
+        return 0
+    try:
+        plan = SvdPlan(
+            m=args.m,
+            n=args.n,
+            stage=args.stage,
+            n_cores=args.n_cores,
+            n_nodes=args.nodes,
+            machine=args.machine,
+        )
+        space = SearchSpace(
+            tile_sizes=_parse_int_list(args.tile_sizes),
+            inner_blocks=_parse_int_list(args.inner_blocks),
+            trees=_parse_name_list(args.trees) or SearchSpace().trees,
+            variants=_parse_name_list(args.variants) or SearchSpace().variants,
+        )
+        if args.strategy == "grid":
+            strategy = GridSearch(prune=not args.no_prune)
+        else:
+            strategy = SuccessiveHalving(prune=not args.no_prune)
+        result = tune(
+            plan,
+            space=space,
+            objective=args.objective,
+            strategy=strategy,
+            workers=args.workers,
+            cache=False if args.no_cache else cache,
+            force=args.force,
+        )
+    except ValueError as exc:
+        return _user_error("tune", exc)
+    rows = result.rows()
+    if rows:
+        # format_rows prints floats at fixed .1f; scores can be milliseconds.
+        display = [
+            {**r, "score": f"{r['score']:.4g}" if isinstance(r["score"], float) else "-"}
+            for r in rows
+        ]
+        print(format_rows(display))
+        print()
+    print(result.summary())
+    if args.json:
+        from repro.utils.io import save_rows_json
+
+        save_rows_json(rows, args.json)
+        print(f"wrote {len(rows)} rows to {args.json}")
+    return 0
+
+
 def _cmd_critical_path(args: argparse.Namespace) -> int:
     from repro.analysis.formulas import bidiag_cp, rbidiag_cp
     from repro.api import SvdPlan, execute
@@ -300,6 +416,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "plan":
         return _cmd_plan(args)
+    if args.command == "tune":
+        return _cmd_tune(args)
     if args.command == "critical-path":
         return _cmd_critical_path(args)
     if args.command == "simulate":

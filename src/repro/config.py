@@ -12,7 +12,7 @@ The defaults mirror the experimental setup of the paper (Section VI):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)

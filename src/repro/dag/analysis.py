@@ -17,11 +17,10 @@ These tools quantify *why* a reduction tree behaves the way it does:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.dag.critical_path import critical_path_length
 from repro.dag.task import TaskGraph
-from repro.kernels.costs import KernelName
 
 
 @dataclass(frozen=True)

@@ -8,10 +8,10 @@ and consumed by the critical-path engine and the runtime simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
 
-from repro.kernels.costs import KernelName, kernel_weight
+from repro.kernels.costs import KernelName
 
 #: A data item is one half of a tile: ("U", i, j) is the upper (R/L factor)
 #: part, ("L", i, j) the lower (reflector) part.  Splitting tiles this way

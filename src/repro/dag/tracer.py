@@ -17,7 +17,7 @@ dependency structure — and hence the critical paths — of the paper.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.algorithms.bidiag import bidiag_ge2bnd
 from repro.algorithms.executor import KernelExecutor

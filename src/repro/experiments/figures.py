@@ -17,7 +17,6 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.crossover import crossover_table
 from repro.analysis.formulas import (
-    bidiag_cp,
     bidiag_flatts_cp,
     bidiag_flattt_cp,
     bidiag_greedy_cp,
@@ -372,3 +371,53 @@ def plan_backend_matrix(
 
     plan = SvdPlan(m=m, n=n, stage="ge2val", tile_size=tile_size, tree=tree)
     return [execute(plan, backend=backend).to_row() for backend in BACKENDS]
+
+
+def tuning_sweep(
+    shapes: Sequence[tuple] = ((2000, 2000), (6000, 1200), (1200, 1200)),
+    objective: str = "makespan",
+    n_cores: int = 24,
+    workers: int = 1,
+    tile_sizes: Optional[Sequence[int]] = None,
+    use_cache: bool = False,
+) -> List[Row]:
+    """Autotune each shape and tabulate the winning configuration.
+
+    The registry's answer to Section VI-B: instead of quoting the paper's
+    tuned ``nb = 160``, let the :mod:`repro.tuning` subsystem find the best
+    (tile size, tree, variant) per shape.  Caching is off by default so the
+    experiment is self-contained; pass ``use_cache=True`` to go through the
+    persistent plan cache.
+    """
+    from repro.api import SvdPlan
+    from repro.tuning import SearchSpace, tune
+
+    if full_scale():
+        shapes = ((20000, 20000), (30000, 30000), (100000, 10000))
+    rows: List[Row] = []
+    for m, n in shapes:
+        plan = SvdPlan(m=m, n=n, stage="ge2val", n_cores=n_cores)
+        result = tune(
+            plan,
+            space=SearchSpace(tile_sizes=tile_sizes),
+            objective=objective,
+            workers=workers,
+            cache=use_cache,
+        )
+        best = result.best_plan
+        rows.append(
+            {
+                "m": m,
+                "n": n,
+                "objective": result.objective,
+                "best_score": result.best_score,
+                "tile_size": best.tile_size,
+                "tree": best.tree,
+                "variant": best.variant,
+                "candidates": result.n_candidates,
+                "evaluated": result.n_evaluated,
+                "pruned": result.n_pruned,
+                "from_cache": result.from_cache,
+            }
+        )
+    return rows

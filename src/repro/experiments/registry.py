@@ -15,7 +15,7 @@ through the same mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping
 
 from repro.experiments import figures
 
@@ -130,6 +130,12 @@ def _experiments() -> List[Experiment]:
             paper_ref="Section VI-B (plan API)",
             description="SvdPlan sweep: simulated GE2BND GFlop/s per tree on one node",
             runner=figures.plan_tree_sweep,
+        ),
+        Experiment(
+            key="tuning-sweep",
+            paper_ref="Section VI-B (autotuning)",
+            description="Autotuned (tile size, tree, variant) per matrix shape via repro.tuning",
+            runner=figures.tuning_sweep,
         ),
         Experiment(
             key="plan-backend-matrix",

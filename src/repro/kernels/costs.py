@@ -138,6 +138,39 @@ def tile_efficiency_factor(nb: int) -> float:
     return raw / ref
 
 
+#: Inner blocking at which :data:`KERNEL_EFFICIENCY` was calibrated (the
+#: paper's tuned ``ib = 32``); :func:`inner_block_efficiency_factor` is 1.0
+#: there for every tile size.
+REFERENCE_IB: int = 32
+
+#: Controls how fast kernel efficiency degrades for small inner blocks: the
+#: Level-3 gain halves (relative to its asymptote) at ``ib = IB_HALF``.
+IB_HALF: int = 8
+
+
+def inner_block_efficiency_factor(ib: int, nb: int) -> float:
+    """Inner-blocking dependence of kernel efficiency, normalised at ``ib = 32``.
+
+    The TS/TT kernels are built from inner-blocked factorizations: a small
+    ``ib`` degenerates towards Level-2 BLAS (poor data reuse), while a large
+    ``ib`` inflates the extra flops of the blocked representation by a
+    factor ``~ 1 + ib / (2 nb)``.  We model the first effect with the same
+    saturating curve as :func:`tile_efficiency_factor` and the second with
+    the flop-overhead reciprocal, rescaled so the factor is exactly 1 at
+    the paper's tuned ``ib = 32`` (for any ``nb``) — which places the
+    model's optimum ``ib`` near ``sqrt(2 * IB_HALF * nb)``.
+    """
+    if ib < 1:
+        raise ValueError(f"ib must be >= 1, got {ib}")
+    if nb < 1:
+        raise ValueError(f"nb must be >= 1, got {nb}")
+
+    def raw(b: int) -> float:
+        return (b / (b + IB_HALF)) / (1.0 + b / (2.0 * nb))
+
+    return raw(ib) / raw(REFERENCE_IB)
+
+
 def kernel_weight(kernel: KernelName | str) -> int:
     """Critical-path weight of ``kernel`` in units of ``nb^3 / 3`` flops."""
     return KERNEL_WEIGHTS[KernelName(kernel)]
@@ -148,17 +181,27 @@ def kernel_flops(kernel: KernelName | str, nb: int) -> float:
     return kernel_weight(kernel) * (nb**3) / 3.0
 
 
-def kernel_efficiency(kernel: KernelName | str, nb: int | None = None) -> float:
+def kernel_efficiency(
+    kernel: KernelName | str,
+    nb: int | None = None,
+    ib: int | None = None,
+) -> float:
     """Fraction of GEMM peak that ``kernel`` achieves (performance model).
 
     Without ``nb`` this is the calibration value at the reference tile size;
     with ``nb`` the tile-size dependence of :func:`tile_efficiency_factor`
-    is applied (clamped to :data:`MAX_KERNEL_EFFICIENCY`).
+    is applied, and with ``ib`` additionally the inner-blocking dependence
+    of :func:`inner_block_efficiency_factor` (clamped to
+    :data:`MAX_KERNEL_EFFICIENCY`).  ``ib=None`` (or the calibration value
+    ``ib=32``) leaves the tile-size-only model unchanged.
     """
     base = KERNEL_EFFICIENCY[KernelName(kernel)]
     if nb is None:
         return base
-    return min(base * tile_efficiency_factor(nb), MAX_KERNEL_EFFICIENCY)
+    factor = tile_efficiency_factor(nb)
+    if ib is not None:
+        factor *= inner_block_efficiency_factor(ib, nb)
+    return min(base * factor, MAX_KERNEL_EFFICIENCY)
 
 
 def kernel_time_seconds(kernel: KernelName | str, nb: int, core_gemm_gflops: float) -> float:

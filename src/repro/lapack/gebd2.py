@@ -19,7 +19,7 @@ algorithmic model behind the ScaLAPACK / MKL competitor performance models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

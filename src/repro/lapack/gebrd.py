@@ -19,7 +19,6 @@ reference code.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

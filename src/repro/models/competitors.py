@@ -32,7 +32,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.models.flops import ge2bd_flops, ge2val_reported_flops, rbidiag_flops
+from repro.models.flops import ge2bd_flops, ge2val_reported_flops
 from repro.runtime.machine import Machine
 
 

@@ -12,7 +12,7 @@ scheduler's job.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.config import MIRIEL, MachinePreset
@@ -35,12 +35,18 @@ class Machine:
         Tile size ``nb``; kernel durations scale as ``nb^3``.
     preset:
         Hardware characteristics (GEMM peaks, network).
+    inner_block:
+        Inner blocking ``ib`` of the TS/TT kernels, or ``None`` for the
+        calibration value (the paper's ``ib = 32``).  Only affects kernel
+        efficiencies (see
+        :func:`repro.kernels.costs.inner_block_efficiency_factor`).
     """
 
     n_nodes: int = 1
     cores_per_node: int = 24
     tile_size: int = 160
     preset: MachinePreset = MIRIEL
+    inner_block: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -49,6 +55,8 @@ class Machine:
             raise ValueError("cores_per_node must be >= 1")
         if self.tile_size < 1:
             raise ValueError("tile_size must be >= 1")
+        if self.inner_block is not None and self.inner_block < 1:
+            raise ValueError("inner_block must be >= 1")
 
     # ------------------------------------------------------------------ #
     # Compute model
@@ -78,7 +86,9 @@ class Machine:
         creates the GE2BND side of the tile-size trade-off of Section VI-B.
         """
         flops = kernel_flops(kernel, self.tile_size)
-        rate = self.core_rate_gflops * 1e9 * kernel_efficiency(kernel, self.tile_size)
+        rate = self.core_rate_gflops * 1e9 * kernel_efficiency(
+            kernel, self.tile_size, self.inner_block
+        )
         return flops / rate
 
     @property
@@ -115,4 +125,5 @@ class Machine:
             cores_per_node=self.cores_per_node,
             tile_size=self.tile_size,
             preset=self.preset,
+            inner_block=self.inner_block,
         )

@@ -19,10 +19,10 @@ on:
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
-from repro.dag.task import Task, TaskGraph
+from repro.dag.task import TaskGraph
 from repro.runtime.machine import Machine
 from repro.tiles.distribution import BlockCyclicDistribution, ProcessGrid
 

@@ -65,14 +65,16 @@ def _resolve_sim_tree(
     machine: Machine,
     p: int,
     q: int,
+    grid: Optional[ProcessGrid] = None,
 ) -> ReductionTree:
     """Resolve a tree spec for simulation purposes.
 
     Delegates to the shared resolver (:mod:`repro.api.resolver`): string
     names map to the shared-memory trees; for multi-node machines the tree
     is wrapped into the paper's hierarchical configuration (flat top tree
-    for FlatTS/FlatTT, greedy top tree for Greedy/Auto).  Imported lazily
-    to keep :mod:`repro.runtime` importable on its own.
+    for FlatTS/FlatTT, greedy top tree for Greedy/Auto) over ``grid`` (or
+    the default grid for the tile shape).  Imported lazily to keep
+    :mod:`repro.runtime` importable on its own.
     """
     from repro.api.resolver import resolve_distributed_tree
 
@@ -82,6 +84,7 @@ def _resolve_sim_tree(
         n_cores=machine.cores_per_node,
         p=p,
         q=q,
+        grid=grid,
     )
 
 
@@ -110,6 +113,7 @@ def simulate_ge2bnd(
     *,
     tree: Union[str, ReductionTree] = "auto",
     algorithm: str = "bidiag",
+    grid: Optional[ProcessGrid] = None,
 ) -> SimulationResult:
     """Simulate the GE2BND stage for an ``m x n`` matrix.
 
@@ -124,14 +128,23 @@ def simulate_ge2bnd(
         explicit :class:`~repro.trees.base.ReductionTree`.
     algorithm:
         ``"bidiag"`` or ``"rbidiag"``.
+    grid:
+        Process grid for the block-cyclic distribution; ``None`` uses the
+        paper's default for the tile shape (near-square / ``nodes x 1``).
     """
     if m < n:
         raise ValueError(f"expected m >= n, got {m}x{n}")
     nb = machine.tile_size
     p, q = ceil_div(m, nb), ceil_div(n, nb)
-    grid = _default_grid(machine, p, q)
+    if grid is None:
+        grid = _default_grid(machine, p, q)
+    elif grid.size != machine.n_nodes:
+        raise ValueError(
+            f"process grid {grid.rows}x{grid.cols} does not cover "
+            f"{machine.n_nodes} node(s)"
+        )
     distribution = BlockCyclicDistribution(grid)
-    tree_obj = _resolve_sim_tree(tree, machine, p, q)
+    tree_obj = _resolve_sim_tree(tree, machine, p, q, grid)
     tree_name = tree if isinstance(tree, str) else type(tree).__name__
 
     algorithm = algorithm.lower()
@@ -190,6 +203,7 @@ def simulate_ge2val(
     *,
     tree: Union[str, ReductionTree] = "auto",
     algorithm: str = "auto",
+    grid: Optional[ProcessGrid] = None,
 ) -> SimulationResult:
     """Simulate the full GE2VAL pipeline (GE2BND + BND2BD + BD2VAL).
 
@@ -202,7 +216,7 @@ def simulate_ge2val(
         from repro.api.resolver import resolve_variant
 
         algorithm = resolve_variant(algorithm, m, n)
-    base = simulate_ge2bnd(m, n, machine, tree=tree, algorithm=algorithm)
+    base = simulate_ge2bnd(m, n, machine, tree=tree, algorithm=algorithm, grid=grid)
     post = post_processing_seconds(n, machine)
     total = base.time_seconds + post
     flops = ge2val_reported_flops(m, n)

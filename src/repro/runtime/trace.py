@@ -10,7 +10,7 @@ pipeline bubbles of the different reduction trees visible at a glance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.dag.task import TaskGraph
 from repro.runtime.machine import Machine

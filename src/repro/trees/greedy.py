@@ -21,7 +21,7 @@ All eliminations use TT kernels, hence every row is triangularized first.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List
+from typing import List
 
 from repro.trees.base import Elimination, PanelContext, PanelPlan, ReductionTree
 

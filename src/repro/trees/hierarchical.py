@@ -24,7 +24,7 @@ from typing import Dict, List, Optional
 
 from repro.trees.base import Elimination, PanelContext, PanelPlan, ReductionTree
 from repro.trees.flat import FlatTSTree
-from repro.trees.greedy import GreedyTree, binomial_eliminations
+from repro.trees.greedy import binomial_eliminations
 from repro.trees.fibonacci import FibonacciTree
 
 

@@ -1,0 +1,121 @@
+"""Persistent JSON cache of tuning outcomes.
+
+Tuning a plan costs many simulator runs; the answer — "for this problem
+shape, machine, objective and search space, use these parameters" — is tiny
+and stable.  :class:`PlanCache` persists that answer in one JSON file so
+repeated calls (a second ``repro tune``, or every
+``SvdPlan(tile_size="auto")`` resolution after the first) are O(1) lookups.
+
+The cache file lives at ``~/.cache/repro/plan_cache.json`` by default; the
+``REPRO_TUNE_CACHE`` environment variable overrides the location (tests and
+CI point it at a temporary file).  Delete the file — or run
+``repro tune --clear-cache`` — to retune from scratch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Environment variable overriding the default cache location.
+CACHE_ENV_VAR = "REPRO_TUNE_CACHE"
+
+#: Bumped whenever the cached record layout changes; old files are ignored.
+CACHE_VERSION = 1
+
+
+def default_cache_path() -> Path:
+    """The cache file location (honouring :data:`CACHE_ENV_VAR`)."""
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "plan_cache.json"
+
+
+def cache_key(fields: Dict[str, object]) -> str:
+    """Deterministic key for one (problem, machine, objective, space) tuple."""
+    payload = json.dumps({k: str(v) for k, v in fields.items()}, sort_keys=True)
+    return hashlib.sha1(payload.encode()).hexdigest()
+
+
+class PlanCache:
+    """A small persistent key -> record store backed by one JSON file.
+
+    Records are plain dicts (the tuner stores the winning parameter
+    overrides plus provenance).  Writes are atomic (temp file + rename) so
+    concurrent tuning runs cannot corrupt the file; a corrupt or
+    foreign-version file is treated as empty rather than raised on.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        self.path = Path(path) if path is not None else default_cache_path()
+        self._entries: Optional[Dict[str, dict]] = None
+
+    # ------------------------------------------------------------------ #
+    # File handling
+    # ------------------------------------------------------------------ #
+    def _load(self) -> Dict[str, dict]:
+        if self._entries is not None:
+            return self._entries
+        entries: Dict[str, dict] = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if isinstance(payload, dict) and payload.get("version") == CACHE_VERSION:
+                stored = payload.get("entries", {})
+                if isinstance(stored, dict):
+                    entries = stored
+        except (OSError, ValueError):
+            pass
+        self._entries = entries
+        return entries
+
+    def _save(self) -> None:
+        entries = self._load()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": CACHE_VERSION, "entries": entries}
+        fd, tmp = tempfile.mkstemp(
+            prefix=self.path.name + ".", dir=str(self.path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------ #
+    # Store API
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached record under ``key``, or ``None``."""
+        return self._load().get(key)
+
+    def put(self, key: str, record: dict) -> None:
+        """Store ``record`` under ``key`` (stamped) and persist."""
+        record = dict(record)
+        record.setdefault("cached_at", time.strftime("%Y-%m-%dT%H:%M:%S"))
+        self._load()[key] = record
+        self._save()
+
+    def clear(self) -> int:
+        """Drop every entry (and the file); returns the number removed."""
+        n = len(self._load())
+        self._entries = {}
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+        return n

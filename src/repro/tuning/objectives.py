@@ -1,0 +1,194 @@
+"""Objectives that score candidate plans.
+
+An :class:`Objective` turns one resolved plan into a scalar score through
+one of the lenses the repo already has — the runtime simulator, the
+critical-path engine or the communication-volume analysis — so one tuner
+serves shared-memory, distributed and tall-skinny scenarios alike:
+
+* ``makespan``      — simulated wall-clock seconds (minimize);
+* ``gflops``        — simulated GFlop/s in the paper's reporting
+  convention (maximize);
+* ``critical-path`` — DAG critical path in Table-I weight units, i.e. the
+  unbounded-resource limit (minimize);
+* ``comm-volume``   — inter-node bytes moved under the block-cyclic
+  distribution (minimize; zero on one node).
+
+Objectives may also expose an *optimistic analytic bound* on their score
+(:meth:`Objective.bound`): a flop-count limit no schedule can beat within
+the performance model.  The search strategies use it to prune candidates
+that provably cannot improve on the best score already measured, which is
+what keeps large sweeps fast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.api.resolver import ResolvedPlan
+from repro.kernels.costs import KernelName, kernel_efficiency
+from repro.models.flops import (
+    ge2bd_flops,
+    ge2bnd_reported_flops,
+    ge2val_reported_flops,
+    rbidiag_flops,
+)
+
+
+def _analytic_time_bound(resolved: ResolvedPlan) -> float:
+    """Optimistic simulated time for ``resolved`` (seconds).
+
+    The GE2BND makespan can never beat perfect parallelism at the best
+    per-kernel rate of the resolved tile geometry, and the GE2VAL
+    post-processing stages run at fixed single-node rates — both are cheap
+    closed forms, so the bound costs nothing compared to a simulation.
+    """
+    from repro.runtime.simulator import post_processing_seconds
+
+    machine = resolved.machine
+    if resolved.variant == "rbidiag":
+        work = rbidiag_flops(resolved.m, resolved.n)
+    else:
+        work = ge2bd_flops(resolved.m, resolved.n)
+    best_eff = max(
+        kernel_efficiency(kernel, machine.tile_size, machine.inner_block)
+        for kernel in KernelName
+    )
+    bound = work / (machine.peak_gflops * 1e9 * best_eff)
+    if resolved.stage == "ge2val":
+        bound += post_processing_seconds(resolved.n, machine)
+    return bound
+
+
+class Objective:
+    """Base class: a named, directed score over resolved plans.
+
+    Subclasses set :attr:`name`, :attr:`direction` (``"min"`` or ``"max"``)
+    and :attr:`units`, and implement :meth:`score`.  :meth:`cost` maps a
+    score onto the minimized axis so strategies never branch on direction.
+    """
+
+    name: str = ""
+    direction: str = "min"
+    units: str = ""
+    description: str = ""
+
+    def score(self, resolved: ResolvedPlan) -> float:
+        raise NotImplementedError
+
+    def bound(self, resolved: ResolvedPlan) -> Optional[float]:
+        """Optimistic score bound, or ``None`` when no cheap bound exists."""
+        return None
+
+    def cost(self, score: float) -> float:
+        """Score mapped so that lower is always better."""
+        return score if self.direction == "min" else -score
+
+    def check_stage(self, stage: str) -> None:
+        """Reject stages this objective's backend cannot model."""
+        if stage == "gesvd":
+            raise ValueError(
+                f"objective {self.name!r} scores plans with the analytic backends, "
+                "which do not model the 'gesvd' stage; tune a 'ge2val' plan instead"
+            )
+
+
+class MakespanObjective(Objective):
+    """Simulated wall-clock seconds (the paper's primary metric)."""
+
+    name = "makespan"
+    direction = "min"
+    units = "s"
+    description = "simulated runtime (list scheduler, Section V machine model)"
+
+    def score(self, resolved: ResolvedPlan) -> float:
+        from repro.api.execute import execute
+
+        return float(execute(resolved, backend="simulate").time_seconds)
+
+    def bound(self, resolved: ResolvedPlan) -> Optional[float]:
+        return _analytic_time_bound(resolved)
+
+
+class GflopsObjective(Objective):
+    """Simulated GFlop/s in the paper's reporting convention."""
+
+    name = "gflops"
+    direction = "max"
+    units = "GFlop/s"
+    description = "simulated rate, normalised by the direct-bidiagonalization flops"
+
+    def score(self, resolved: ResolvedPlan) -> float:
+        from repro.api.execute import execute
+
+        return float(execute(resolved, backend="simulate").gflops)
+
+    def bound(self, resolved: ResolvedPlan) -> Optional[float]:
+        if resolved.stage == "ge2val":
+            reported = ge2val_reported_flops(resolved.m, resolved.n)
+        else:
+            reported = ge2bnd_reported_flops(resolved.m, resolved.n)
+        return reported / _analytic_time_bound(resolved) / 1e9
+
+
+class CriticalPathObjective(Objective):
+    """DAG critical path: parallel time with unbounded resources."""
+
+    name = "critical-path"
+    direction = "min"
+    units = "nb^3/3 flops"
+    description = "critical path of the traced task graph (Section IV)"
+
+    def score(self, resolved: ResolvedPlan) -> float:
+        from repro.api.execute import execute
+
+        return float(execute(resolved, backend="dag").critical_path)
+
+
+class CommVolumeObjective(Objective):
+    """Inter-node communication volume under the resolved distribution."""
+
+    name = "comm-volume"
+    direction = "min"
+    units = "bytes"
+    description = "bytes moved across the network (owner-computes, Section VI-D)"
+
+    def score(self, resolved: ResolvedPlan) -> float:
+        from repro.analysis.communication import communication_volume
+        from repro.dag.tracer import trace_bidiag, trace_rbidiag
+
+        tracer = trace_bidiag if resolved.variant == "bidiag" else trace_rbidiag
+        graph = tracer(
+            resolved.p,
+            resolved.q,
+            resolved.tree,
+            n_cores=resolved.plan.n_cores,
+            grid_rows=resolved.grid.rows,
+        )
+        stats = communication_volume(
+            graph, resolved.distribution, tile_size=resolved.tile_size
+        )
+        return float(stats.bytes_moved)
+
+
+#: Name -> objective instance (objectives are stateless).
+OBJECTIVES: Dict[str, Objective] = {
+    obj.name: obj
+    for obj in (
+        MakespanObjective(),
+        GflopsObjective(),
+        CriticalPathObjective(),
+        CommVolumeObjective(),
+    )
+}
+
+
+def get_objective(objective) -> Objective:
+    """Coerce a name or instance to an :class:`Objective`."""
+    if isinstance(objective, Objective):
+        return objective
+    try:
+        return OBJECTIVES[str(objective).strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown objective {objective!r}; available: {sorted(OBJECTIVES)}"
+        ) from None

@@ -1,0 +1,582 @@
+"""Search strategies and the :func:`tune` entry point.
+
+Two strategies cover the sweep shapes the paper's tuning needs:
+
+* :class:`GridSearch` — evaluate every candidate, optionally in parallel
+  (``concurrent.futures``) and with analytic-model pruning: candidates are
+  visited most-promising-first (by the objective's optimistic bound) and a
+  candidate whose bound already exceeds the best *measured* cost is skipped
+  without running its simulation.  Pruning is conservative — only strictly
+  worse candidates are dropped — so a pruned grid search returns the same
+  winner as the exhaustive one.
+
+* :class:`SuccessiveHalving` — evaluate every candidate on a scaled-down
+  problem first, keep the top ``1/eta`` fraction, scale the problem up and
+  repeat; only the survivors ever run at full size.  Cheap for large spaces
+  where the ranking stabilises early.
+
+:func:`tune` wraps a strategy with the persistent
+:class:`~repro.tuning.cache.PlanCache`, keyed by (problem, machine,
+objective, strategy, expanded space), so a repeated call answers in O(1)
+without touching the simulator.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api.plan import SvdPlan
+from repro.api.resolver import ResolvedPlan, resolve, tree_display_name
+from repro.config import default_config
+from repro.tiles.matrix import TiledMatrix
+from repro.tuning.cache import PlanCache, cache_key
+from repro.tuning.objectives import Objective, get_objective
+from repro.tuning.space import SearchSpace
+
+
+# --------------------------------------------------------------------------- #
+# Candidate evaluation (shared by both strategies)
+# --------------------------------------------------------------------------- #
+def _score_candidate(
+    args: Tuple[SvdPlan, Union[str, Objective]],
+) -> Tuple[Optional[float], Optional[str]]:
+    """Score one candidate; module-level so process pools can pickle it."""
+    plan, objective = args
+    try:
+        objective = get_objective(objective)
+        return objective.score(resolve(plan)), None
+    except Exception as exc:  # a failing candidate is reported, not fatal
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def _score_resolved(
+    plan: SvdPlan,
+    resolved: Optional[ResolvedPlan],
+    objective: Objective,
+) -> Tuple[Optional[float], Optional[str]]:
+    """Serial-path scorer, reusing the resolution done for the bound."""
+    try:
+        if resolved is None:
+            resolved = resolve(plan)
+        return objective.score(resolved), None
+    except Exception as exc:
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+@dataclass
+class Evaluation:
+    """One scored (or pruned / failed) candidate."""
+
+    plan: SvdPlan
+    score: Optional[float] = None
+    cost: float = float("inf")
+    bound: Optional[float] = None
+    pruned: bool = False
+    error: Optional[str] = None
+    #: The (m, n) shape the score was measured at (successive halving
+    #: scores early rungs on scaled-down problems).
+    fidelity: Optional[Tuple[int, int]] = None
+
+    def to_row(self) -> Dict[str, object]:
+        plan = self.plan
+        config = plan.config if plan.config is not None else default_config
+        row: Dict[str, object] = {
+            "tile_size": plan.tile_size,
+            "inner_block": config.inner_block,
+            "tree": tree_display_name(plan.tree),
+            "variant": plan.variant,
+            "grid": f"{plan.grid[0]}x{plan.grid[1]}" if plan.grid else "default",
+            "score": self.score,
+            "pruned": self.pruned,
+        }
+        if self.fidelity is not None:
+            row["fidelity_m"], row["fidelity_n"] = self.fidelity
+        if self.error is not None:
+            row["error"] = self.error
+        return row
+
+
+def _race(
+    candidates: Sequence[SvdPlan],
+    objective: Objective,
+    *,
+    workers: int,
+    executor: str,
+    prune: bool,
+    fidelity: Optional[Tuple[int, int]] = None,
+) -> List[Evaluation]:
+    """Evaluate ``candidates``, most-promising-first, pruning hopeless ones.
+
+    Returns one :class:`Evaluation` per candidate, in the original order.
+    A candidate is pruned only when its optimistic bound is *strictly*
+    worse than a cost already measured, so the best (cost, index) pair is
+    identical to an exhaustive evaluation whenever the bounds are valid.
+    Waves of up to ``workers`` candidates are scored concurrently on one
+    shared ``concurrent.futures`` pool.
+    """
+    evals = [Evaluation(plan=plan, fidelity=fidelity) for plan in candidates]
+    resolved: List[Optional[ResolvedPlan]] = [None] * len(evals)
+    if prune:
+        for i, ev in enumerate(evals):
+            try:
+                resolved[i] = resolve(ev.plan)
+                bound = objective.bound(resolved[i])
+            except Exception:
+                bound = None
+            ev.bound = None if bound is None else objective.cost(bound)
+    # Most promising first; unbounded candidates go first (they can never
+    # be pruned, and evaluating them early tightens the incumbent).
+    order = sorted(
+        range(len(evals)),
+        key=lambda i: (evals[i].bound is not None, evals[i].bound or 0.0, i),
+    )
+    pool = None
+    if workers > 1 and len(candidates) > 1:
+        pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+        pool = pool_cls(max_workers=workers)
+    try:
+        best_cost = float("inf")
+        wave = max(1, workers)
+        cursor = 0
+        while cursor < len(order):
+            batch: List[int] = []
+            while cursor < len(order) and len(batch) < wave:
+                idx = order[cursor]
+                cursor += 1
+                if prune and evals[idx].bound is not None and evals[idx].bound > best_cost:
+                    evals[idx].pruned = True
+                    continue
+                batch.append(idx)
+            if not batch:
+                continue
+            if pool is not None and len(batch) > 1:
+                scores = list(
+                    pool.map(
+                        _score_candidate,
+                        [(evals[i].plan, objective) for i in batch],
+                    )
+                )
+            else:
+                scores = [
+                    _score_resolved(evals[i].plan, resolved[i], objective)
+                    for i in batch
+                ]
+            for idx, (score, error) in zip(batch, scores):
+                ev = evals[idx]
+                ev.score, ev.error = score, error
+                if score is not None:
+                    ev.cost = objective.cost(score)
+                    if ev.cost < best_cost:
+                        best_cost = ev.cost
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return evals
+
+
+def _best_index(evals: Sequence[Evaluation]) -> int:
+    """Index of the winning evaluation (lowest cost, earliest on ties)."""
+    scored = [i for i, ev in enumerate(evals) if ev.score is not None]
+    if not scored:
+        raise RuntimeError(
+            "no candidate could be evaluated; first error: "
+            + next((ev.error for ev in evals if ev.error), "none recorded")
+        )
+    return min(scored, key=lambda i: (evals[i].cost, i))
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GridSearch:
+    """Exhaustive sweep with optional analytic pruning."""
+
+    name: str = field(default="grid", init=False)
+    prune: bool = True
+
+    def run(
+        self,
+        candidates: Sequence[SvdPlan],
+        objective: Objective,
+        *,
+        workers: int = 1,
+        executor: str = "process",
+    ) -> List[Evaluation]:
+        return _race(
+            candidates,
+            objective,
+            workers=workers,
+            executor=executor,
+            prune=self.prune,
+        )
+
+
+@dataclass(frozen=True)
+class SuccessiveHalving:
+    """Multi-fidelity racing: score everyone small, promote the top 1/eta.
+
+    Fidelity is the problem size: rung ``r`` scores the surviving
+    candidates on the base problem scaled down by ``2^(rungs - 1 - r)``
+    (never below ``min_tile_multiple`` times the largest candidate tile, so
+    every candidate keeps a meaningful tile grid); the last rung always
+    runs at full size.
+    """
+
+    name: str = field(default="halving", init=False)
+    eta: int = 2
+    min_tile_multiple: int = 2
+    prune: bool = True
+
+    def __post_init__(self) -> None:
+        if self.eta < 2:
+            raise ValueError(f"eta must be >= 2, got {self.eta}")
+
+    def _fidelities(
+        self, m: int, n: int, max_tile: int, n_candidates: int
+    ) -> List[Tuple[int, int]]:
+        floor = max(self.min_tile_multiple * max_tile, 2)
+        rungs: List[Tuple[int, int]] = [(m, n)]
+        # One rung per halving of the candidate set, while the scaled
+        # problem still exercises every tile size.
+        survivors = n_candidates
+        scale = 2
+        while survivors > self.eta and min(m, n) // scale >= floor:
+            rungs.append((m // scale, max(n // scale, 1)))
+            survivors = -(-survivors // self.eta)
+            scale *= 2
+        rungs.reverse()
+        return rungs
+
+    def run(
+        self,
+        candidates: Sequence[SvdPlan],
+        objective: Objective,
+        *,
+        workers: int = 1,
+        executor: str = "process",
+    ) -> List[Evaluation]:
+        max_tile = max(
+            plan.tile_size for plan in candidates if isinstance(plan.tile_size, int)
+        )
+        base = candidates[0]
+        fidelities = self._fidelities(base.m, base.n, max_tile, len(candidates))
+        alive = list(range(len(candidates)))
+        all_evals: List[Evaluation] = []
+        for rung, (fm, fn) in enumerate(fidelities):
+            at_full = (fm, fn) == (base.m, base.n)
+            scaled = [
+                candidates[i] if at_full else candidates[i].with_(m=fm, n=fn)
+                for i in alive
+            ]
+            evals = _race(
+                scaled,
+                objective,
+                workers=workers,
+                executor=executor,
+                # Bounds are only proven against costs of the same fidelity,
+                # so pruning stays rung-local (and therefore safe).
+                prune=self.prune,
+                fidelity=None if at_full else (fm, fn),
+            )
+            # Record against the original (full-size) candidate plans.
+            for local, i in enumerate(alive):
+                evals[local].plan = candidates[i]
+                all_evals.append(evals[local])
+            if rung == len(fidelities) - 1:
+                break
+            ranked = sorted(
+                (local for local, ev in enumerate(evals) if ev.score is not None),
+                key=lambda local: (evals[local].cost, local),
+            )
+            keep = max(1, -(-len(alive) // self.eta))
+            alive = [alive[local] for local in ranked[:keep]]
+        return all_evals
+
+
+STRATEGIES = {"grid": GridSearch, "halving": SuccessiveHalving}
+
+
+def get_strategy(strategy) -> Union[GridSearch, SuccessiveHalving]:
+    """Coerce a name or instance to a strategy."""
+    if isinstance(strategy, (GridSearch, SuccessiveHalving)):
+        return strategy
+    try:
+        return STRATEGIES[str(strategy).strip().lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+
+
+# --------------------------------------------------------------------------- #
+# The tuner
+# --------------------------------------------------------------------------- #
+@dataclass
+class TuningResult:
+    """Outcome of one :func:`tune` call."""
+
+    best_plan: SvdPlan
+    best_score: float
+    objective: str
+    direction: str
+    strategy: str
+    evaluations: List[Evaluation]
+    n_candidates: int
+    n_evaluated: int
+    n_pruned: int
+    elapsed_seconds: float
+    from_cache: bool = False
+    cache_path: Optional[str] = None
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-candidate rows (for tables / ``--json``), winner first flag."""
+        best_key = _plan_overrides(self.best_plan)
+        rows = []
+        for ev in self.evaluations:
+            row = ev.to_row()
+            row["best"] = (
+                not self.from_cache
+                and ev.fidelity is None
+                and _plan_overrides(ev.plan) == best_key
+            )
+            rows.append(row)
+        return rows
+
+    def summary(self) -> str:
+        best = _plan_overrides(self.best_plan)
+        lines = [
+            f"objective      : {self.objective} ({self.direction})",
+            f"strategy       : {self.strategy}"
+            + (" [cache hit]" if self.from_cache else ""),
+            f"candidates     : {self.n_candidates} "
+            f"({self.n_evaluated} evaluated, {self.n_pruned} pruned)",
+            f"best score     : {self.best_score:.6g}",
+            f"best tile size : {best['tile_size']}",
+            f"best tree      : {best['tree']}",
+            f"best variant   : {best['variant']}",
+        ]
+        if best["grid"] is not None:
+            lines.append(f"best grid      : {best['grid'][0]}x{best['grid'][1]}")
+        if best["inner_block"] is not None:
+            lines.append(f"inner block    : {best['inner_block']}")
+        lines.append(f"elapsed        : {self.elapsed_seconds:.2f}s")
+        if self.cache_path:
+            lines.append(f"plan cache     : {self.cache_path}")
+        return "\n".join(lines)
+
+
+def _plan_overrides(plan: SvdPlan) -> Dict[str, object]:
+    """The tuned parameters of ``plan``, as a JSON-friendly dict."""
+    config = plan.config if plan.config is not None else default_config
+    return {
+        "tile_size": plan.tile_size,
+        "inner_block": config.inner_block,
+        "tree": tree_display_name(plan.tree),
+        "variant": plan.variant,
+        "grid": list(plan.grid) if plan.grid else None,
+    }
+
+
+def _apply_overrides(base: SvdPlan, overrides: Dict[str, object]) -> SvdPlan:
+    """Rebuild a tuned plan from cached parameter overrides."""
+    config = base.config if base.config is not None else default_config
+    grid = overrides.get("grid")
+    tree = overrides["tree"]
+    if not isinstance(base.tree, (str, type(None))):
+        # An explicit tree instance can only appear as a pinned dimension;
+        # its cached display name is not a registry key, so keep the object.
+        tree = base.tree
+    return base.with_(
+        tile_size=int(overrides["tile_size"]),
+        tree=tree,
+        variant=overrides["variant"],
+        grid=tuple(grid) if grid else None,
+        config=config.with_(inner_block=int(overrides["inner_block"])),
+    )
+
+
+def _tune_cache_key(
+    base: SvdPlan, space: SearchSpace, objective: Objective, strategy_name: str
+) -> str:
+    config = base.config if base.config is not None else default_config
+    return cache_key(
+        {
+            "m": base.m,
+            "n": base.n,
+            "stage": base.stage,
+            "machine": base.machine,
+            "n_nodes": base.n_nodes,
+            "n_cores": base.n_cores,
+            "auto_gamma": config.auto_gamma,
+            "objective": objective.name,
+            "strategy": strategy_name,
+            "space": space.fingerprint(base),
+        }
+    )
+
+
+def tune(
+    plan: SvdPlan,
+    *,
+    space: Optional[SearchSpace] = None,
+    objective: Union[str, Objective] = "makespan",
+    strategy: Union[str, GridSearch, SuccessiveHalving] = "grid",
+    workers: int = 1,
+    cache: Union[PlanCache, bool, None] = True,
+    force: bool = False,
+    executor: str = "process",
+) -> TuningResult:
+    """Search the plan space around ``plan`` and return the best candidate.
+
+    Parameters
+    ----------
+    plan:
+        The problem to tune (shape, stage, machine).  Fields the space
+        searches (tile size, tree, variant, grid, inner block) are treated
+        as free; ``tile_size="auto"`` is accepted and means the same as
+        leaving it unset.
+    space:
+        The :class:`SearchSpace` to explore (default: the paper-shaped
+        default space for this problem).
+    objective:
+        Objective name or instance (see
+        :data:`repro.tuning.objectives.OBJECTIVES`).
+    strategy:
+        ``"grid"`` (exhaustive + pruning) or ``"halving"`` (successive
+        halving), or a configured strategy instance.
+    workers:
+        Parallel evaluation width; ``1`` evaluates serially, larger values
+        fan candidates out over a ``concurrent.futures`` pool.
+    cache:
+        ``True`` (default) uses the persistent default cache, ``False`` /
+        ``None`` disables caching, or pass an explicit
+        :class:`~repro.tuning.cache.PlanCache`.
+    force:
+        Re-run the search even on a cache hit (and refresh the entry).
+    executor:
+        ``"process"`` (default; real parallelism for the pure-Python
+        simulator) or ``"thread"``.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if executor not in ("process", "thread"):
+        raise ValueError(f"executor must be 'process' or 'thread', got {executor!r}")
+    objective = get_objective(objective)
+    objective.check_stage(plan.stage)
+    strategy = get_strategy(strategy)
+    base = plan.with_(tile_size=None) if plan.tile_size == "auto" else plan
+    # Candidates are scored matrix-free (the analytic backends only need the
+    # shape), but the *returned* plan must still carry the caller's data —
+    # densified, so the tuned tile size can re-tile it at execution.
+    matrix = base.matrix
+    if isinstance(matrix, TiledMatrix):
+        matrix = matrix.to_dense()
+    if matrix is not None:
+        base = base.with_(matrix=matrix)
+    space = space if space is not None else SearchSpace()
+
+    store: Optional[PlanCache]
+    if cache is True:
+        store = PlanCache()
+    elif cache in (False, None):
+        store = None
+    else:
+        store = cache
+
+    key = None
+    if store is not None:
+        key = _tune_cache_key(base, space, objective, strategy.name)
+        record = None if force else store.get(key)
+        if record is not None:
+            return TuningResult(
+                best_plan=_apply_overrides(base, record["overrides"]),
+                best_score=float(record["score"]),
+                objective=objective.name,
+                direction=objective.direction,
+                strategy=strategy.name,
+                evaluations=[],
+                n_candidates=int(record.get("n_candidates", 0)),
+                n_evaluated=0,
+                n_pruned=0,
+                elapsed_seconds=0.0,
+                from_cache=True,
+                cache_path=str(store.path),
+            )
+
+    start = time.perf_counter()
+    candidates = space.candidates(base)
+    evaluations = strategy.run(
+        candidates, objective, workers=workers, executor=executor
+    )
+    # Successive halving re-scores survivors at several fidelities; the
+    # winner is picked among full-fidelity evaluations only.
+    final = [ev for ev in evaluations if ev.fidelity is None]
+    best = final[_best_index(final)]
+    elapsed = time.perf_counter() - start
+    best_plan = best.plan if matrix is None else best.plan.with_(matrix=matrix)
+    result = TuningResult(
+        best_plan=best_plan,
+        best_score=float(best.score),
+        objective=objective.name,
+        direction=objective.direction,
+        strategy=strategy.name,
+        evaluations=evaluations,
+        n_candidates=len(candidates),
+        n_evaluated=sum(1 for ev in evaluations if ev.score is not None),
+        n_pruned=sum(1 for ev in evaluations if ev.pruned),
+        elapsed_seconds=elapsed,
+        cache_path=str(store.path) if store is not None else None,
+    )
+    if store is not None:
+        store.put(
+            key,
+            {
+                "overrides": _plan_overrides(best.plan),
+                "score": result.best_score,
+                "objective": objective.name,
+                "direction": objective.direction,
+                "strategy": strategy.name,
+                "n_candidates": result.n_candidates,
+                "n_evaluated": result.n_evaluated,
+                "n_pruned": result.n_pruned,
+                "elapsed_seconds": round(elapsed, 4),
+                "problem": {
+                    "m": base.m,
+                    "n": base.n,
+                    "stage": base.stage,
+                    "machine": base.machine,
+                    "n_nodes": base.n_nodes,
+                    "n_cores": base.n_cores,
+                },
+            },
+        )
+    return result
+
+
+def resolve_auto_tile_size(plan: SvdPlan, config=None) -> int:
+    """Pick the tile size for a ``tile_size="auto"`` plan (cached).
+
+    Tunes the tile-size dimension alone — tree, variant, grid and inner
+    block stay as the plan says — against the ``makespan`` objective, so
+    ``SvdPlan(tile_size="auto")`` resolves to the simulator's best ``nb``
+    for this problem and machine.  The persistent plan cache makes every
+    resolution after the first an O(1) lookup.
+    """
+    base = plan.with_(tile_size=None)
+    if config is not None:
+        base = base.with_(config=config)
+    if base.stage == "gesvd":
+        # The analytic backends do not model vector accumulation; the
+        # GE2VAL pipeline is the closest scored proxy.
+        base = base.with_(stage="ge2val")
+    space = SearchSpace(
+        trees=None,  # pin the plan's own tree / variant / grid
+        variants=None,
+        grids=(base.grid,),
+    )
+    result = tune(base, space=space, objective="makespan", strategy="grid")
+    return int(result.best_plan.tile_size)

@@ -1,0 +1,220 @@
+"""Declarative search spaces over :class:`~repro.api.plan.SvdPlan`.
+
+A :class:`SearchSpace` names the tunable dimensions of the paper's
+Section-VI setup — tile size ``nb``, inner block ``ib``, reduction tree,
+BIDIAG / R-BIDIAG variant and process-grid shape — as plain value lists.
+:meth:`SearchSpace.candidates` expands the space against a base plan into
+the concrete :class:`~repro.api.plan.SvdPlan` grid that the search
+strategies of :mod:`repro.tuning.search` evaluate.
+
+The defaults mirror what the paper actually tunes: a handful of tile sizes
+around the config default, the four shared-memory trees, both variants, and
+(on several nodes) every divisor-pair process grid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.plan import VARIANTS, SvdPlan
+from repro.config import Config, default_config
+from repro.trees import TREE_REGISTRY
+
+#: Tree names the default space sweeps (the four trees of Figure 2).
+DEFAULT_TREES: Tuple[str, ...] = ("flatts", "flattt", "greedy", "auto")
+
+#: Multipliers applied to the config-default tile size to build the default
+#: ``nb`` candidates (the paper's Section VI-B sweep shape).
+DEFAULT_TILE_FACTORS: Tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0)
+
+
+def default_tile_sizes(m: int, n: int, config: Optional[Config] = None) -> Tuple[int, ...]:
+    """Default ``nb`` candidates for an ``m x n`` problem.
+
+    Scales :data:`DEFAULT_TILE_FACTORS` by the config-driven default tile
+    size and keeps only values that leave at least a 2x2 tile grid (the
+    reduction trees are meaningless on a single tile column).
+    """
+    from repro.api.resolver import default_tile_size
+
+    base = default_tile_size(m, n, config)
+    ceiling = max(1, min(m, n) // 2)
+    sizes = sorted({min(max(1, round(base * f)), ceiling) for f in DEFAULT_TILE_FACTORS})
+    return tuple(sizes)
+
+
+def divisor_grids(n_nodes: int) -> Tuple[Tuple[int, int], ...]:
+    """All ``(rows, cols)`` process-grid shapes covering ``n_nodes`` nodes.
+
+    For prime node counts this degenerates to the two flat shapes
+    ``1 x nodes`` and ``nodes x 1``.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    return tuple(
+        (r, n_nodes // r) for r in range(1, n_nodes + 1) if n_nodes % r == 0
+    )
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """The tunable dimensions of one autotuning run.
+
+    Every dimension is a sequence of values; ``None`` means "use the
+    problem-derived default" (computed against the base plan in
+    :meth:`candidates`).  A single-value dimension pins that parameter.
+
+    Parameters
+    ----------
+    tile_sizes:
+        Tile sizes ``nb`` to try (default: :func:`default_tile_sizes`).
+    inner_blocks:
+        Inner blocks ``ib`` to try (default: just the config value — the
+        ``ib`` dimension only matters to the performance model, so it is
+        opt-in).
+    trees:
+        Reduction-tree names (default: :data:`DEFAULT_TREES`).
+    variants:
+        Algorithm variants; ``"auto"`` entries resolve through the Chan
+        crossover (default: ``("bidiag", "rbidiag")``).
+    grids:
+        Process-grid shapes ``(rows, cols)``; only shapes covering the base
+        plan's ``n_nodes`` are kept, and a ``None`` entry means the
+        resolver's default grid for the tile shape (default:
+        :func:`divisor_grids` on several nodes, just the resolver default
+        on one).
+
+    ``trees=None`` / ``variants=None`` pin the dimension to the base plan's
+    own value (useful to tune one parameter in isolation).
+    """
+
+    tile_sizes: Optional[Sequence[int]] = None
+    inner_blocks: Optional[Sequence[int]] = None
+    trees: Optional[Sequence[str]] = field(default=DEFAULT_TREES)
+    variants: Optional[Sequence[str]] = ("bidiag", "rbidiag")
+    grids: Optional[Sequence[Optional[Tuple[int, int]]]] = None
+
+    def __post_init__(self) -> None:
+        for name in ("tile_sizes", "inner_blocks"):
+            values = getattr(self, name)
+            if values is not None:
+                values = tuple(int(v) for v in values)
+                if not values or any(v < 1 for v in values):
+                    raise ValueError(f"{name} must be a non-empty sequence of ints >= 1")
+                object.__setattr__(self, name, values)
+        if self.trees is not None:
+            trees = tuple(str(t).strip().lower() for t in self.trees)
+            unknown = [t for t in trees if t not in TREE_REGISTRY]
+            if not trees or unknown:
+                raise ValueError(
+                    f"unknown tree(s) {unknown}; available: {sorted(TREE_REGISTRY)}"
+                )
+            object.__setattr__(self, "trees", trees)
+        if self.variants is not None:
+            variants = tuple(str(v).strip().lower() for v in self.variants)
+            unknown = [v for v in variants if v not in VARIANTS]
+            if not variants or unknown:
+                raise ValueError(f"unknown variant(s) {unknown}; choose from {VARIANTS}")
+            object.__setattr__(self, "variants", variants)
+        if self.grids is not None:
+            grids = tuple(
+                g if g is None else (int(g[0]), int(g[1])) for g in self.grids
+            )
+            if not grids or any(g is not None and (g[0] < 1 or g[1] < 1) for g in grids):
+                raise ValueError("grids must be a non-empty sequence of (rows, cols) pairs")
+            object.__setattr__(self, "grids", grids)
+
+    # ------------------------------------------------------------------ #
+    # Expansion
+    # ------------------------------------------------------------------ #
+    def dimensions(self, base: SvdPlan) -> Dict[str, Tuple[object, ...]]:
+        """The concrete value list of every dimension, for ``base``."""
+        config = base.config if base.config is not None else default_config
+        tile_sizes = self.tile_sizes
+        if tile_sizes is None:
+            tile_sizes = default_tile_sizes(base.m, base.n, config)
+        inner_blocks = self.inner_blocks
+        if inner_blocks is None:
+            inner_blocks = (config.inner_block,)
+        grids: Sequence[Optional[Tuple[int, int]]]
+        if self.grids is None:
+            grids = divisor_grids(base.n_nodes) if base.n_nodes > 1 else (None,)
+        else:
+            grids = tuple(
+                g for g in self.grids if g is None or g[0] * g[1] == base.n_nodes
+            )
+            if not grids:
+                raise ValueError(
+                    f"no grid shape in {list(self.grids)} covers n_nodes={base.n_nodes}"
+                )
+        return {
+            "tile_size": tuple(tile_sizes),
+            "inner_block": tuple(inner_blocks),
+            "tree": tuple(self.trees) if self.trees is not None else (base.tree,),
+            "variant": tuple(self.variants) if self.variants is not None else (base.variant,),
+            "grid": tuple(grids),
+        }
+
+    def size(self, base: SvdPlan) -> int:
+        """Number of candidate plans the space expands to for ``base``."""
+        dims = self.dimensions(base)
+        total = 1
+        for values in dims.values():
+            total *= len(values)
+        return total
+
+    def candidates(self, base: SvdPlan) -> List[SvdPlan]:
+        """Expand the space into concrete plans derived from ``base``.
+
+        The base plan's explicit matrix (if any) is dropped — tuning scores
+        candidates with the simulator / DAG lenses, which only need the
+        shape — and duplicates (e.g. a variant list that collapses under
+        the Chan crossover) are removed while preserving order.
+        """
+        from repro.api.resolver import resolve_variant
+
+        config = base.config if base.config is not None else default_config
+        if base.matrix is not None:
+            base = base.with_(matrix=None, m=base.m, n=base.n)
+        dims = self.dimensions(base)
+        plans: List[SvdPlan] = []
+        seen = set()
+        for nb, ib, tree, variant, grid in itertools.product(
+            dims["tile_size"],
+            dims["inner_block"],
+            dims["tree"],
+            dims["variant"],
+            dims["grid"],
+        ):
+            plan = base.with_(
+                tile_size=nb,
+                tree=tree,
+                variant=variant,
+                grid=grid,
+                config=config.with_(inner_block=ib),
+            )
+            key = (nb, ib, str(tree), resolve_variant(plan.variant, base.m, base.n), plan.grid)
+            if key in seen:
+                continue
+            seen.add(key)
+            plans.append(plan)
+        return plans
+
+    # ------------------------------------------------------------------ #
+    # Identity (for the plan cache)
+    # ------------------------------------------------------------------ #
+    def fingerprint(self, base: SvdPlan) -> str:
+        """Stable hash of the concrete dimensions for ``base``.
+
+        Two tuning runs share a cache entry only if their expanded spaces
+        are identical.
+        """
+        dims = self.dimensions(base)
+        payload = json.dumps(
+            {k: [str(v) for v in vs] for k, vs in dims.items()}, sort_keys=True
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()[:16]

@@ -20,3 +20,14 @@ if _SRC not in sys.path:
 def rng() -> np.random.Generator:
     """Deterministic random generator shared by the numeric tests."""
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(autouse=True)
+def _isolate_plan_cache(tmp_path, monkeypatch):
+    """Point the autotuner's persistent plan cache at a per-test temp file.
+
+    Keeps the suite from reading or writing ``~/.cache/repro`` — tuning
+    tests must be hermetic, and no other test should inherit a stale tuned
+    plan.
+    """
+    monkeypatch.setenv("REPRO_TUNE_CACHE", str(tmp_path / "plan_cache.json"))

@@ -1,6 +1,5 @@
 """Tests for communication, asymptotics and speedup analysis helpers."""
 
-import math
 
 import pytest
 

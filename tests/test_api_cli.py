@@ -1,6 +1,5 @@
 """CLI round-trips for the plan subcommand and the plan-backed commands."""
 
-import json
 
 import numpy as np
 import pytest

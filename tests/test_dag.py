@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
 
 from repro.dag.critical_path import critical_path_length, critical_path_tasks
 from repro.dag.task import Task, TaskGraph

@@ -1,0 +1,50 @@
+"""Smoke-run every example script in reduced-size mode.
+
+Each ``examples/*.py`` is a standalone script with a ``main()``; the slow
+ones honour ``REPRO_EXAMPLE_FAST=1`` by shrinking their problem sizes.
+This test imports each file and runs its ``main()`` under that flag, so a
+broken import or a renamed API in any example fails the suite instead of
+rotting silently.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLE_FILES) >= 8
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.stem)
+def test_example_runs(path: Path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_EXAMPLE_FAST", "1")
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert hasattr(module, "main"), f"{path.name} has no main()"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} printed nothing"
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "communication_study",
+        "critical_path_study",
+        "distributed_simulation",
+        "tile_size_tuning",
+        "tree_study",
+    ],
+)
+def test_slow_examples_honour_fast_flag(name: str):
+    """The heavyweight examples must read the reduced-size flag."""
+    source = (EXAMPLES_DIR / f"{name}.py").read_text()
+    assert "REPRO_EXAMPLE_FAST" in source

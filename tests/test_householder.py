@@ -10,7 +10,6 @@ from repro.kernels.householder import (
     apply_q_right,
     apply_qt,
     apply_qt_right,
-    build_t_factor,
     form_q,
     householder_vector,
     qr_factor,

@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) for the core numerical and planning invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -9,7 +8,7 @@ from repro.algorithms.band import BandBidiagonal
 from repro.algorithms.bd2val import bidiagonal_singular_values, bidiagonal_sv_bisection
 from repro.algorithms.bdsqr import bdsqr
 from repro.algorithms.bnd2bd import band_to_bidiagonal
-from repro.kernels.householder import build_t_factor, householder_vector, qr_factor
+from repro.kernels.householder import householder_vector, qr_factor
 from repro.kernels.qr_kernels import geqrt, tsqrt, ttqrt, unmqr
 from repro.lapack import gebd2
 from repro.tiles.layout import TileLayout

@@ -1,0 +1,106 @@
+"""Resolver edge cases the autotuner stresses.
+
+The tuner sweeps tile sizes down to single-tile problems, node counts that
+are prime, and shapes sitting exactly on the Chan crossover; these tests
+pin the resolver's behaviour in those corners.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import SvdPlan, execute, resolve
+from repro.api.resolver import (
+    chan_prefers_rbidiag,
+    default_grid,
+    default_tile_size,
+    resolve_variant,
+)
+
+
+class TestSingleTileProblems:
+    def test_1x1_element_matrix_resolves(self):
+        resolved = resolve(SvdPlan(m=1, n=1))
+        assert resolved.tile_size == 1
+        assert (resolved.p, resolved.q) == (1, 1)
+
+    def test_1x1_tile_grid_when_tile_covers_matrix(self):
+        resolved = resolve(SvdPlan(m=50, n=30, tile_size=64))
+        assert (resolved.p, resolved.q) == (1, 1)
+
+    def test_1x1_runs_through_every_backend(self):
+        plan = SvdPlan(m=40, n=30, tile_size=40, stage="ge2bnd")
+        for backend in ("numeric", "dag", "simulate"):
+            result = execute(plan, backend=backend)
+            assert (result.p, result.q) == (1, 1)
+
+    def test_default_tile_size_floors_at_one(self):
+        # min(m, n) // 4 == 0 must not produce a zero tile.
+        assert default_tile_size(3, 2) == 1
+        assert default_tile_size(1, 1) == 1
+
+
+class TestPrimeNodeCounts:
+    @pytest.mark.parametrize("nodes", [2, 3, 5, 7, 11, 13])
+    def test_square_grid_falls_back_to_flat_for_primes(self, nodes):
+        grid = default_grid(nodes, p=10, q=10)
+        assert grid.size == nodes  # every node is used
+        assert grid.rows == 1  # no divisor <= sqrt(nodes) except 1
+
+    def test_tall_skinny_grid_is_nodes_by_one(self):
+        grid = default_grid(7, p=40, q=4)
+        assert (grid.rows, grid.cols) == (7, 1)
+
+    @pytest.mark.parametrize("nodes", [4, 9, 16])
+    def test_perfect_squares_stay_square(self, nodes):
+        grid = default_grid(nodes, p=10, q=10)
+        assert grid.rows == grid.cols
+
+    def test_prime_node_simulation_runs(self):
+        plan = SvdPlan(m=700, n=700, tile_size=100, n_nodes=7, n_cores=4)
+        result = execute(plan.with_(stage="ge2bnd"), backend="simulate")
+        assert result.grid == "1x7"
+        assert result.time_seconds > 0
+
+
+class TestChanCrossoverBoundary:
+    def test_exactly_at_crossover_prefers_rbidiag(self):
+        # The predicate is m >= 5n/3, i.e. 3m >= 5n: equality counts.
+        assert chan_prefers_rbidiag(5, 3)
+        assert resolve_variant("auto", 5, 3) == "rbidiag"
+        assert resolve_variant("auto", 5000, 3000) == "rbidiag"
+
+    def test_one_row_below_crossover_prefers_bidiag(self):
+        assert not chan_prefers_rbidiag(4999, 3000)
+        assert resolve_variant("auto", 4999, 3000) == "bidiag"
+
+    def test_explicit_variant_wins_over_crossover(self):
+        assert resolve_variant("bidiag", 5000, 3000) == "bidiag"
+        assert resolve_variant("rbidiag", 3000, 3000) == "rbidiag"
+
+    def test_resolved_plan_pins_variant_at_boundary(self):
+        assert resolve(SvdPlan(m=500, n=300)).variant == "rbidiag"
+        assert resolve(SvdPlan(m=499, n=300)).variant == "bidiag"
+
+
+class TestExplicitGridField:
+    def test_explicit_grid_overrides_default(self):
+        plan = SvdPlan(m=800, n=200, tile_size=100, n_nodes=4, grid=(2, 2))
+        resolved = resolve(plan)
+        assert (resolved.grid.rows, resolved.grid.cols) == (2, 2)
+        # Default for this tall-skinny tile shape would have been 4x1.
+        default = resolve(plan.with_(grid=None))
+        assert (default.grid.rows, default.grid.cols) == (4, 1)
+
+    def test_grid_must_cover_nodes(self):
+        with pytest.raises(ValueError, match="does not cover"):
+            SvdPlan(m=100, n=100, n_nodes=4, grid=(3, 1))
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError, match="grid"):
+            SvdPlan(m=100, n=100, n_nodes=1, grid=(0, 1))
+
+    def test_tile_size_auto_string_is_validated(self):
+        assert SvdPlan(m=100, n=100, tile_size="AUTO ").tile_size == "auto"
+        with pytest.raises(ValueError, match="tile_size"):
+            SvdPlan(m=100, n=100, tile_size="huge")

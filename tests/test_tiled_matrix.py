@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.tiles.layout import TileLayout
 from repro.tiles.matrix import TiledMatrix
 
 

@@ -60,17 +60,17 @@ class TestTiledLQ:
         a = rng.standard_normal(shape)
         mat = TiledMatrix.from_dense(a, nb)
         tiled_lq(mat, tree, check_plan=True)
-        l = mat.to_dense()
-        assert np.max(np.abs(np.triu(l, 1))) < 1e-10
-        np.testing.assert_allclose(_sv(l), _sv(a), atol=1e-10 * np.linalg.norm(a))
+        lower = mat.to_dense()
+        assert np.max(np.abs(np.triu(lower, 1))) < 1e-10
+        np.testing.assert_allclose(_sv(lower), _sv(a), atol=1e-10 * np.linalg.norm(a))
 
     def test_lq_matches_qr_of_transpose(self, rng):
         a = rng.standard_normal((8, 12))
         mat = TiledMatrix.from_dense(a, 4)
         tiled_lq(mat, GreedyTree())
-        l = mat.to_dense()[:8, :8]
+        lower = mat.to_dense()[:8, :8]
         r_ref = np.linalg.qr(a.T, mode="r")
-        np.testing.assert_allclose(np.abs(l), np.abs(r_ref.T), atol=1e-10)
+        np.testing.assert_allclose(np.abs(lower), np.abs(r_ref.T), atol=1e-10)
 
 
 class TestStepErrors:

@@ -1,0 +1,122 @@
+"""The ``repro tune`` subcommand, and the pinned ``repro plan --json`` schema.
+
+Tuning sweeps consume plan rows programmatically, so the row schema is a
+contract: every row must be self-describing (resolved tile size, tree
+display name, concrete variant, grid, machine).  The schema test pins the
+exact key set per backend — extending it is fine, but do it consciously.
+"""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.utils.io import load_rows_json
+
+#: Keys shared by every backend's row (the resolved plan description).
+PLAN_KEYS = {
+    "backend", "stage", "variant", "tree", "m", "n", "p", "q",
+    "tile_size", "n_cores", "n_nodes", "grid", "machine",
+}
+
+
+class TestPlanRowSchema:
+    def run_rows(self, tmp_path, *args):
+        path = tmp_path / "rows.json"
+        assert main(["plan", "--m", "60", "--n", "40", "--tile-size", "10",
+                     *args, "--json", str(path)]) == 0
+        return load_rows_json(path)
+
+    def test_numeric_row_schema_is_pinned(self, tmp_path):
+        (row,) = self.run_rows(tmp_path)
+        assert set(row) == PLAN_KEYS | {
+            "time_seconds", "max_rel_error",
+            "seconds_ge2bnd", "seconds_bnd2bd", "seconds_bd2val",
+        }
+
+    def test_dag_row_schema_is_pinned(self, tmp_path):
+        (row,) = self.run_rows(tmp_path, "--backend", "dag", "--stage", "ge2bnd")
+        assert set(row) == PLAN_KEYS | {"n_tasks", "critical_path"}
+
+    def test_simulate_row_schema_is_pinned(self, tmp_path):
+        (row,) = self.run_rows(tmp_path, "--backend", "simulate")
+        assert set(row) == PLAN_KEYS | {
+            "time_seconds", "gflops", "n_tasks", "messages", "comm_bytes",
+            "seconds_ge2bnd", "seconds_post",
+        }
+
+    def test_rows_are_resolved_not_requested(self, tmp_path):
+        """Rows carry concrete values: resolved nb, tree name, variant."""
+        path = tmp_path / "rows.json"
+        # No tile size, auto variant: the row must still be concrete.
+        assert main(["plan", "--m", "64", "--n", "24", "--backend", "simulate",
+                     "--variant", "auto", "--json", str(path)]) == 0
+        (row,) = load_rows_json(path)
+        assert isinstance(row["tile_size"], int) and row["tile_size"] >= 1
+        assert row["variant"] == "rbidiag"  # 64 >= 5/3 * 24 resolved by Chan
+        assert row["tree"] == "greedy"  # display name of the default tree
+        assert row["grid"] == "1x1" and row["machine"] == "miriel"
+
+
+class TestTuneCommand:
+    ARGS = ["tune", "--m", "300", "--n", "300", "--n-cores", "4",
+            "--tile-sizes", "25,50", "--trees", "flatts,greedy",
+            "--variants", "bidiag"]
+
+    def test_tune_prints_best_plan(self, capsys):
+        assert main([*self.ARGS, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "best tile size" in out
+        assert "candidates     : 4" in out
+
+    def test_tune_json_rows_are_self_describing(self, tmp_path):
+        path = tmp_path / "tune.json"
+        assert main([*self.ARGS, "--no-cache", "--json", str(path)]) == 0
+        rows = load_rows_json(path)
+        assert len(rows) == 4
+        assert {"tile_size", "inner_block", "tree", "variant", "grid",
+                "score", "pruned", "best"} <= set(rows[0])
+        assert sum(1 for r in rows if r["best"]) == 1
+
+    def test_cache_roundtrip_through_cli(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        assert main([*self.ARGS, "--cache-file", str(cache)]) == 0
+        first = capsys.readouterr().out
+        assert "[cache hit]" not in first
+        assert cache.exists()
+        assert main([*self.ARGS, "--cache-file", str(cache)]) == 0
+        second = capsys.readouterr().out
+        assert "[cache hit]" in second
+        # Same winner either way.
+        line = [ln for ln in first.splitlines() if "best tile size" in ln]
+        assert line and line[0] in second
+
+    def test_clear_cache(self, tmp_path, capsys):
+        cache = tmp_path / "cache.json"
+        assert main([*self.ARGS, "--cache-file", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["tune", "--m", "1", "--n", "1", "--clear-cache",
+                     "--cache-file", str(cache)]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert not cache.exists()
+
+    def test_objective_validation(self, capsys):
+        assert main([*self.ARGS, "--no-cache", "--objective", "speed"]) == 2
+        assert "unknown objective" in capsys.readouterr().err
+
+    def test_halving_strategy_via_cli(self, capsys):
+        assert main(["tune", "--m", "800", "--n", "800", "--n-cores", "4",
+                     "--tile-sizes", "20,40,80", "--trees", "flatts,greedy",
+                     "--variants", "bidiag", "--strategy", "halving",
+                     "--no-cache"]) == 0
+        assert "strategy       : halving" in capsys.readouterr().out
+
+    def test_no_prune_applies_to_halving_too(self, capsys):
+        assert main(["tune", "--m", "800", "--n", "800", "--n-cores", "4",
+                     "--tile-sizes", "20,40,80", "--trees", "flatts,greedy",
+                     "--variants", "bidiag", "--strategy", "halving",
+                     "--no-prune", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "0 pruned" in out
+
+    def test_workers_flag(self, capsys):
+        assert main([*self.ARGS, "--no-cache", "--workers", "2"]) == 0
+        assert "best tile size" in capsys.readouterr().out
