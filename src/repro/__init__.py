@@ -17,9 +17,13 @@ The package provides, from the bottom up:
   pipeline :func:`~repro.algorithms.gesvd_pipeline.gesvd_two_stage`);
 * ``repro.lapack`` — classical one-stage baselines (GEBD2, GEBRD, GEQRF,
   Chan's algorithm) used as numerical references and competitor models;
-* ``repro.dag`` — task-graph tracer and critical-path engine;
-* ``repro.runtime`` — a PaRSEC-like discrete-event runtime simulator
-  (bounded cores, nodes, network) used for the performance studies;
+* ``repro.ir`` — the compiled op-stream Program IR: algorithm drivers are
+  captured once per DAG shape (op stream + CSR dependencies, shared
+  in-process cache) and replayed by every consumer below;
+* ``repro.dag`` — legacy task-graph front-end and critical-path analyses;
+* ``repro.runtime`` — a PaRSEC-like event-driven runtime engine with
+  pluggable scheduling policies (bounded cores, nodes, network) used for
+  the performance studies;
 * ``repro.models`` — operation counts and competitor models
   (PLASMA, MKL, ScaLAPACK, Elemental);
 * ``repro.analysis`` — closed-form critical-path formulas and the
@@ -78,6 +82,7 @@ from repro.algorithms.bdsqr import bdsqr
 from repro.algorithms.gesvd_pipeline import gesvd_two_stage
 from repro.algorithms.svd import ge2val, gesvd, ge2bnd
 from repro.api import ResolvedPlan, RunResult, SvdPlan, execute, execute_sweep, resolve
+from repro.ir import Program, get_program, replay
 from repro.dag.critical_path import critical_path_length
 from repro.analysis.formulas import (
     bidiag_flatts_cp,
@@ -86,7 +91,7 @@ from repro.analysis.formulas import (
     rbidiag_greedy_cp,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "SvdPlan",
@@ -119,6 +124,9 @@ __all__ = [
     "ge2val",
     "gesvd",
     "ge2bnd",
+    "Program",
+    "get_program",
+    "replay",
     "critical_path_length",
     "bidiag_flatts_cp",
     "bidiag_flattt_cp",

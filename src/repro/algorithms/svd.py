@@ -27,11 +27,9 @@ import numpy as np
 from repro.algorithms.accumulate import accumulate_orthogonal_factors
 from repro.algorithms.band import BandBidiagonal, extract_band
 from repro.algorithms.bd2val import bidiagonal_singular_values
-from repro.algorithms.bidiag import bidiag_ge2bnd
 from repro.algorithms.bnd2bd import band_to_bidiagonal
 from repro.algorithms.executor import NumericExecutor
 from repro.algorithms.jacobi import jacobi_svd
-from repro.algorithms.rbidiag import rbidiag_ge2bnd
 from repro.api.resolver import as_tiled, chan_prefers_rbidiag, resolve_tree
 from repro.config import Config
 from repro.tiles.matrix import TiledMatrix
@@ -115,13 +113,19 @@ def ge2bnd(
         )
     tree_obj = _resolve_tree(tree, n_cores, config)
     variant = _choose_variant(variant.lower(), matrix.p, matrix.q)
-    executor = NumericExecutor(matrix, log_transformations=log_transformations)
-    if variant == "bidiag":
-        bidiag_ge2bnd(executor, tree_obj, n_cores=n_cores)
-    elif variant == "rbidiag":
-        rbidiag_ge2bnd(executor, tree_obj, n_cores=n_cores)
-    else:
+    if variant not in ("bidiag", "rbidiag"):
         raise ValueError(f"unknown variant {variant!r} (use 'bidiag', 'rbidiag' or 'auto')")
+    # The numeric executor interprets the compiled Program: the op stream
+    # comes from the shared program cache (repro.ir), so the kernels applied
+    # here are, by construction, exactly the tasks the DAG analyses and the
+    # runtime simulation consume for the same configuration.  Replay order
+    # is the drivers' sequential order, so results are bit-identical to
+    # driving the executor directly.
+    from repro.ir import get_program, replay
+
+    executor = NumericExecutor(matrix, log_transformations=log_transformations)
+    program = get_program(variant, matrix.p, matrix.q, tree_obj, n_cores=n_cores)
+    replay(program, executor)
     band = extract_band(matrix)
     return band, matrix, executor
 

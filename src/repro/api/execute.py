@@ -6,10 +6,16 @@ resolved form to one of three backends:
 * ``"numeric"``  — the exact tiled Householder pipeline (GE2BND /
   GE2VAL / GESVD), with per-stage wall-clock timings and accuracy
   against ``numpy.linalg.svd``;
-* ``"dag"``      — the task-graph tracer + critical-path engine; reports
-  task counts, per-kernel counts and the critical path in Table-I units;
-* ``"simulate"`` — the PaRSEC-like runtime simulator; reports simulated
+* ``"dag"``      — the critical-path engine, interpreting the compiled
+  :class:`~repro.ir.program.Program`; reports task counts, per-kernel
+  counts and the critical path in Table-I units;
+* ``"simulate"`` — the event-driven runtime engine replaying the same
+  compiled program under the plan's scheduling policy; reports simulated
   time, GFlop/s, task and message counts.
+
+All three backends resolve their op stream through the shared in-process
+program cache (:data:`repro.ir.compiler.PROGRAM_CACHE`), so a sweep traces
+each DAG shape once, no matter how many candidates consume it.
 
 Backend modules are imported lazily so that importing :mod:`repro.api`
 stays cheap and free of import cycles.
@@ -109,8 +115,7 @@ def _execute_numeric(resolved: ResolvedPlan) -> RunResult:
 # DAG backend
 # --------------------------------------------------------------------------- #
 def _execute_dag(resolved: ResolvedPlan) -> RunResult:
-    from repro.dag.critical_path import critical_path_length
-    from repro.dag.tracer import trace_bidiag, trace_rbidiag
+    from repro.ir import get_program
 
     if resolved.stage == "gesvd":
         raise ValueError(
@@ -118,8 +123,11 @@ def _execute_dag(resolved: ResolvedPlan) -> RunResult:
             "(the DAG tracer covers the tiled GE2BND stage)"
         )
     plan = resolved.plan
-    tracer = trace_bidiag if resolved.variant == "bidiag" else trace_rbidiag
-    graph = tracer(
+    # The DAG backend is a Program interpreter: the critical-path engine
+    # reads the same compiled op stream (shared in-process cache) that the
+    # numeric executor replays and the simulation engine schedules.
+    program = get_program(
+        resolved.variant,
         resolved.p,
         resolved.q,
         resolved.tree,
@@ -127,11 +135,11 @@ def _execute_dag(resolved: ResolvedPlan) -> RunResult:
         grid_rows=resolved.grid.rows,
     )
     result = _base_result(resolved, "dag")
-    result.n_tasks = len(graph)
-    result.critical_path = critical_path_length(graph)
-    result.extras["n_edges"] = graph.n_edges
+    result.n_tasks = len(program)
+    result.critical_path = program.critical_path()
+    result.extras["n_edges"] = program.n_edges
     result.extras["kernel_counts"] = dict(
-        Counter(task.kernel.name for task in graph.tasks)
+        Counter(op.kernel.name for op in program.ops)
     )
     if resolved.stage == "ge2val":
         result.extras["note"] = (
@@ -159,6 +167,7 @@ def _execute_simulate(resolved: ResolvedPlan) -> RunResult:
             tree=resolved.tree,
             algorithm=resolved.variant,
             grid=resolved.grid,
+            policy=resolved.plan.policy,
         )
     else:
         sim = simulate_ge2val(
@@ -168,8 +177,10 @@ def _execute_simulate(resolved: ResolvedPlan) -> RunResult:
             tree=resolved.tree,
             algorithm=resolved.variant,
             grid=resolved.grid,
+            policy=resolved.plan.policy,
         )
     result = _base_result(resolved, "simulate")
+    result.policy = sim.policy
     result.time_seconds = sim.time_seconds
     result.gflops = sim.gflops
     result.n_tasks = sim.n_tasks

@@ -79,6 +79,11 @@ class SvdPlan:
         skinny).
     machine:
         Machine preset name (see :data:`repro.config.PRESETS`).
+    policy:
+        Scheduling policy name for the simulation engine (see
+        :data:`repro.runtime.policies.POLICIES`); the default ``"list"``
+        reproduces the legacy list scheduler exactly.  Ignored by the
+        numeric and DAG backends.
     seed:
         Seed of the generated input matrix when ``matrix`` is omitted.
     config:
@@ -97,6 +102,7 @@ class SvdPlan:
     n_nodes: int = 1
     grid: Optional[Tuple[int, int]] = None
     machine: str = "miriel"
+    policy: str = "list"
     seed: int = 0
     config: Optional[Config] = None
 
@@ -157,6 +163,14 @@ class SvdPlan:
             raise ValueError(
                 f"unknown machine preset {self.machine!r}; known presets: {sorted(PRESETS)}"
             )
+        # Imported lazily: repro.runtime builds on lower layers only.
+        from repro.runtime.policies import POLICIES
+
+        object.__setattr__(self, "policy", str(self.policy).strip().lower())
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown scheduling policy {self.policy!r}; available: {sorted(POLICIES)}"
+            )
 
     # ------------------------------------------------------------------ #
     # Derivation helpers
@@ -208,5 +222,6 @@ class SvdPlan:
             "n_nodes": self.n_nodes,
             "grid": f"{self.grid[0]}x{self.grid[1]}" if self.grid else None,
             "machine": self.machine,
+            "policy": self.policy,
             "seed": self.seed,
         }

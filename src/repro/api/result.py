@@ -46,6 +46,9 @@ class RunResult:
     n_nodes: int
     grid: str = "1x1"
     machine: str = "miriel"
+    #: Scheduling policy the simulation engine replayed the program under;
+    #: ``None`` for backends that do not schedule (numeric, dag).
+    policy: Optional[str] = None
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     time_seconds: Optional[float] = None
     gflops: Optional[float] = None
@@ -76,6 +79,8 @@ class RunResult:
             "grid": self.grid,
             "machine": self.machine,
         }
+        if self.policy is not None:
+            row["policy"] = self.policy
         for key in ("time_seconds", "gflops", "n_tasks", "messages", "comm_bytes",
                     "critical_path", "max_rel_error"):
             value = getattr(self, key)
@@ -97,6 +102,8 @@ class RunResult:
             f"machine        : {self.n_nodes} node(s) x {self.n_cores} core(s) "
             f"({self.machine}, grid {self.grid})",
         ]
+        if self.policy is not None:
+            lines.append(f"policy         : {self.policy}")
         if self.n_tasks is not None:
             lines.append(f"tasks          : {self.n_tasks}")
         if self.messages is not None:

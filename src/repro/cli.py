@@ -10,7 +10,9 @@ without writing any Python:
 * ``tune``            — autotune a plan (tile size, tree, variant, grid)
   with the :mod:`repro.tuning` subsystem and its persistent plan cache;
 * ``critical-path``   — closed-form and DAG-measured critical paths;
-* ``simulate``        — one runtime simulation (GE2BND or GE2VAL);
+* ``simulate``        — one runtime simulation (GE2BND or GE2VAL) under any
+  scheduling policy (``--policy``);
+* ``policies``        — list the simulation engine's scheduling policies;
 * ``svd``             — compute singular values of a random or ``.npy`` matrix
   with the numeric tiled pipeline and compare against ``numpy.linalg.svd``.
 
@@ -28,10 +30,12 @@ import numpy as np
 
 from repro.api import BACKENDS, STAGES, VARIANTS
 from repro.config import PRESETS
+from repro.runtime.policies import POLICIES
 from repro.trees import TREE_REGISTRY
 
 _TREE_CHOICES = sorted(TREE_REGISTRY)
 _VARIANT_CHOICES = list(VARIANTS)
+_POLICY_CHOICES = sorted(POLICIES)
 
 
 def _add_plan_arguments(parser: argparse.ArgumentParser) -> None:
@@ -57,6 +61,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the registered paper experiments")
+
+    sub.add_parser(
+        "policies", help="list the simulation engine's scheduling policies"
+    )
 
     run = sub.add_parser("run", help="run a registered experiment")
     run.add_argument("experiment", help="experiment key (see 'repro list')")
@@ -115,6 +123,8 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--cache-file", default=None,
                       help="plan cache location (default: $REPRO_TUNE_CACHE or "
                            "~/.cache/repro/plan_cache.json)")
+    tune.add_argument("--policy", default="list", choices=_POLICY_CHOICES,
+                      help="scheduling policy scoring simulated candidates")
     tune.add_argument("--json", help="write the evaluation rows to this JSON file")
     tune.add_argument("--n-cores", type=int, default=24,
                       help="cores per node (default: 24, the paper's miriel node)")
@@ -136,6 +146,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--nb", type=int, default=160)
     sim.add_argument("--tree", default="auto", choices=_TREE_CHOICES)
     sim.add_argument("--algorithm", default="auto", choices=_VARIANT_CHOICES)
+    sim.add_argument("--policy", default="list", choices=_POLICY_CHOICES,
+                     help="scheduling policy of the simulation engine")
     sim.add_argument("--ge2val", action="store_true", help="include BND2BD + BD2VAL stages")
 
     svd = sub.add_parser("svd", help="singular values via the numeric tiled pipeline")
@@ -157,6 +169,14 @@ def _cmd_list() -> int:
 
     for exp in list_experiments():
         print(f"{exp.key:22s}  {exp.paper_ref:24s}  {exp.description}")
+    return 0
+
+
+def _cmd_policies() -> int:
+    from repro.runtime.policies import available_policies
+
+    for name, description in available_policies():
+        print(f"{name:14s}  {description}")
     return 0
 
 
@@ -285,6 +305,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             n_cores=args.n_cores,
             n_nodes=args.nodes,
             machine=args.machine,
+            policy=args.policy,
         )
         space = SearchSpace(
             tile_sizes=_parse_int_list(args.tile_sizes),
@@ -368,6 +389,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             tile_size=args.nb,
             n_cores=args.cores,
             n_nodes=args.nodes,
+            policy=args.policy,
         )
         result = execute(plan, backend="simulate")
     except ValueError as exc:
@@ -412,6 +434,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "policies":
+        return _cmd_policies()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "plan":

@@ -1,216 +1,62 @@
-"""Trace executor: builds the task graph of a tiled algorithm.
+"""Legacy tracing front-end over the compiled Program IR.
 
-The :class:`TraceExecutor` implements the same
-:class:`~repro.algorithms.executor.KernelExecutor` interface as the numeric
-executor, but instead of touching numbers it records one :class:`Task` per
-kernel call and infers the dependency edges from the data accesses, exactly
-like a superscalar runtime (PaRSEC, StarPU, QUARK) does:
+This module used to own both halves of DAG construction: recording one
+:class:`~repro.dag.task.Task` per kernel call *and* inferring dependency
+edges from data accesses.  Both now live in :mod:`repro.ir` —
+:class:`~repro.ir.recorder.ProgramRecorder` captures the op stream and
+:class:`~repro.ir.program.DependencyAnalyzer` runs the superscalar RAW/WAR
+inference (exactly like PaRSEC, StarPU or QUARK would):
 
 * a task that *writes* a data item depends on the item's last writer and on
   every reader since that write (RAW + WAR);
 * a task that *reads* a data item depends on its last writer (RAW).
 
-Data items are tile *halves* (upper = factor part, lower = reflector part);
-see :mod:`repro.dag.task` for why this split is needed to reproduce the
-dependency structure — and hence the critical paths — of the paper.
+What remains here is the backward-compatible surface: a
+:class:`TraceExecutor` whose ``graph`` attribute is a legacy
+:class:`~repro.dag.task.TaskGraph`, and the ``trace_qr`` /
+``trace_bidiag`` / ``trace_rbidiag`` front-ends — now thin wrappers that
+resolve through the shared :data:`repro.ir.compiler.PROGRAM_CACHE`, so
+repeated traces of the same DAG shape are free.  New code should prefer
+:func:`repro.ir.get_program` and work on the :class:`~repro.ir.program.Program`
+directly; the event-driven engine (:mod:`repro.runtime.engine`) and the
+critical-path analyses consume programs natively.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Optional
 
-from repro.algorithms.bidiag import bidiag_ge2bnd
-from repro.algorithms.executor import KernelExecutor
-from repro.algorithms.rbidiag import rbidiag_ge2bnd
-from repro.algorithms.tiled_qr import tiled_qr
-from repro.dag.task import DataItem, Task, TaskGraph
-from repro.kernels.costs import KernelName, kernel_weight
+from repro.dag.task import TaskGraph
+from repro.ir.compiler import get_program
+from repro.ir.recorder import ProgramRecorder
 from repro.trees.base import ReductionTree
 
 
-def _upper(i: int, j: int) -> DataItem:
-    return ("U", i, j)
+class TraceExecutor(ProgramRecorder):
+    """Executor that records the task DAG instead of computing.
 
-
-def _lower(i: int, j: int) -> DataItem:
-    return ("L", i, j)
-
-
-def _whole(i: int, j: int) -> Tuple[DataItem, DataItem]:
-    return (_upper(i, j), _lower(i, j))
-
-
-class TraceExecutor(KernelExecutor):
-    """Executor that records the task DAG instead of computing."""
+    A thin compatibility shell over :class:`~repro.ir.recorder.ProgramRecorder`:
+    kernel calls are captured as program ops, and :attr:`graph` materializes
+    the legacy :class:`~repro.dag.task.TaskGraph` (dependency edges included)
+    on demand.
+    """
 
     def __init__(self, p: int, q: int) -> None:
-        if p < 1 or q < 1:
-            raise ValueError(f"tile shape must be at least 1x1, got {p}x{q}")
-        self._p = p
-        self._q = q
-        self.graph = TaskGraph()
-        self._last_writer: Dict[DataItem, int] = {}
-        self._readers_since_write: Dict[DataItem, List[int]] = {}
-        self.current_step: str = ""
+        super().__init__(p, q)
+        self._graph_cache: Optional[TaskGraph] = None
+        self._graph_ops = -1
 
     @property
-    def p(self) -> int:
-        return self._p
-
-    @property
-    def q(self) -> int:
-        return self._q
-
-    # ------------------------------------------------------------------ #
-    # Dependency bookkeeping
-    # ------------------------------------------------------------------ #
-    def _record(
-        self,
-        kernel: KernelName,
-        params: Tuple[int, ...],
-        reads: Iterable[DataItem],
-        writes: Iterable[DataItem],
-        owner_tile: Tuple[int, int],
-    ) -> None:
-        reads_set = frozenset(reads)
-        writes_set = frozenset(writes)
-        task = Task(
-            id=len(self.graph),
-            kernel=kernel,
-            params=params,
-            reads=reads_set,
-            writes=writes_set,
-            weight=kernel_weight(kernel),
-            owner_tile=owner_tile,
-            step=self.current_step,
-        )
-        self.graph.add_task(task)
-        tid = task.id
-        for item in reads_set | writes_set:
-            writer = self._last_writer.get(item)
-            if writer is not None:
-                self.graph.add_edge(writer, tid)
-        for item in writes_set:
-            # WAR: wait for every reader since the last write.
-            for reader in self._readers_since_write.get(item, ()):
-                self.graph.add_edge(reader, tid)
-        # Update the bookkeeping *after* all edges are added.
-        for item in writes_set:
-            self._last_writer[item] = tid
-            self._readers_since_write[item] = []
-        for item in reads_set - writes_set:
-            self._readers_since_write.setdefault(item, []).append(tid)
-
-    # ------------------------------------------------------------------ #
-    # QR family
-    # ------------------------------------------------------------------ #
-    def geqrt(self, i: int, k: int) -> None:
-        self._record(KernelName.GEQRT, (i, k), reads=(), writes=_whole(i, k), owner_tile=(i, k))
-
-    def unmqr(self, i: int, k: int, j: int) -> None:
-        self._record(
-            KernelName.UNMQR,
-            (i, k, j),
-            reads=(_lower(i, k),),
-            writes=_whole(i, j),
-            owner_tile=(i, j),
-        )
-
-    def tsqrt(self, piv: int, i: int, k: int) -> None:
-        self._record(
-            KernelName.TSQRT,
-            (piv, i, k),
-            reads=(),
-            writes=(_upper(piv, k),) + _whole(i, k),
-            owner_tile=(i, k),
-        )
-
-    def tsmqr(self, piv: int, i: int, k: int, j: int) -> None:
-        self._record(
-            KernelName.TSMQR,
-            (piv, i, k, j),
-            reads=_whole(i, k),
-            writes=_whole(piv, j) + _whole(i, j),
-            owner_tile=(i, j),
-        )
-
-    def ttqrt(self, piv: int, i: int, k: int) -> None:
-        # The TT reflectors are stored in the *upper* (triangular) part of the
-        # killed tile; the lower part still holds the GEQRT reflectors, which
-        # is why TTQRT does not conflict with the UNMQR updates of row i.
-        self._record(
-            KernelName.TTQRT,
-            (piv, i, k),
-            reads=(),
-            writes=(_upper(piv, k), _upper(i, k)),
-            owner_tile=(i, k),
-        )
-
-    def ttmqr(self, piv: int, i: int, k: int, j: int) -> None:
-        self._record(
-            KernelName.TTMQR,
-            (piv, i, k, j),
-            reads=(_upper(i, k),),
-            writes=_whole(piv, j) + _whole(i, j),
-            owner_tile=(i, j),
-        )
-
-    # ------------------------------------------------------------------ #
-    # LQ family
-    # ------------------------------------------------------------------ #
-    def gelqt(self, k: int, j: int) -> None:
-        self._record(KernelName.GELQT, (k, j), reads=(), writes=_whole(k, j), owner_tile=(k, j))
-
-    def unmlq(self, k: int, j: int, i: int) -> None:
-        self._record(
-            KernelName.UNMLQ,
-            (k, j, i),
-            reads=(_upper(k, j),),
-            writes=_whole(i, j),
-            owner_tile=(i, j),
-        )
-
-    def tslqt(self, piv: int, j: int, k: int) -> None:
-        self._record(
-            KernelName.TSLQT,
-            (piv, j, k),
-            reads=(),
-            writes=(_lower(k, piv),) + _whole(k, j),
-            owner_tile=(k, j),
-        )
-
-    def tsmlq(self, piv: int, j: int, k: int, i: int) -> None:
-        self._record(
-            KernelName.TSMLQ,
-            (piv, j, k, i),
-            reads=_whole(k, j),
-            writes=_whole(i, piv) + _whole(i, j),
-            owner_tile=(i, j),
-        )
-
-    def ttlqt(self, piv: int, j: int, k: int) -> None:
-        # Mirror of ttqrt: the TT reflectors live in the *lower* part of the
-        # killed tile, leaving the GELQT reflectors (upper part) untouched.
-        self._record(
-            KernelName.TTLQT,
-            (piv, j, k),
-            reads=(),
-            writes=(_lower(k, piv), _lower(k, j)),
-            owner_tile=(k, j),
-        )
-
-    def ttmlq(self, piv: int, j: int, k: int, i: int) -> None:
-        self._record(
-            KernelName.TTMLQ,
-            (piv, j, k, i),
-            reads=(_lower(k, j),),
-            writes=_whole(i, piv) + _whole(i, j),
-            owner_tile=(i, j),
-        )
+    def graph(self) -> TaskGraph:
+        """The task graph of everything recorded so far."""
+        if self._graph_cache is None or self._graph_ops != len(self.ops):
+            self._graph_cache = self.program().to_task_graph()
+            self._graph_ops = len(self.ops)
+        return self._graph_cache
 
 
 # --------------------------------------------------------------------------- #
-# Convenience tracing front-ends
+# Convenience tracing front-ends (cache-backed)
 # --------------------------------------------------------------------------- #
 def trace_qr(
     p: int,
@@ -221,9 +67,9 @@ def trace_qr(
     grid_rows: int = 1,
 ) -> TaskGraph:
     """Task graph of the tiled QR factorization of a ``p x q`` tile matrix."""
-    tracer = TraceExecutor(p, q)
-    tiled_qr(tracer, tree, n_cores=n_cores, grid_rows=grid_rows)
-    return tracer.graph
+    return get_program(
+        "qr", p, q, tree, n_cores=n_cores, grid_rows=grid_rows
+    ).to_task_graph()
 
 
 def trace_bidiag(
@@ -236,11 +82,15 @@ def trace_bidiag(
     grid_rows: int = 1,
 ) -> TaskGraph:
     """Task graph of BIDIAG (GE2BND) on a ``p x q`` tile matrix."""
-    tracer = TraceExecutor(p, q)
-    bidiag_ge2bnd(
-        tracer, qr_tree, lq_tree, n_cores=n_cores, grid_rows=grid_rows
-    )
-    return tracer.graph
+    return get_program(
+        "bidiag",
+        p,
+        q,
+        qr_tree,
+        lq_tree=lq_tree,
+        n_cores=n_cores,
+        grid_rows=grid_rows,
+    ).to_task_graph()
 
 
 def trace_rbidiag(
@@ -254,13 +104,13 @@ def trace_rbidiag(
     grid_rows: int = 1,
 ) -> TaskGraph:
     """Task graph of R-BIDIAG on a ``p x q`` tile matrix."""
-    tracer = TraceExecutor(p, q)
-    rbidiag_ge2bnd(
-        tracer,
+    return get_program(
+        "rbidiag",
+        p,
+        q,
         qr_tree,
-        lq_tree,
+        lq_tree=lq_tree,
         prequr_tree=prequr_tree,
         n_cores=n_cores,
         grid_rows=grid_rows,
-    )
-    return tracer.graph
+    ).to_task_graph()

@@ -356,6 +356,34 @@ def plan_tree_sweep(
     return execute_sweep(base.sweep(tree=list(trees)), backend="simulate")
 
 
+def policy_sweep(
+    m: int = 4000,
+    n: int = 4000,
+    tile_size: int = 250,
+    n_cores: int = 24,
+    n_nodes: int = 4,
+    tree: str = "greedy",
+    policies: Sequence[str] = ("list", "critical-path", "locality", "random"),
+) -> List[Row]:
+    """Simulated GE2BND makespan per scheduling policy, via a plan sweep.
+
+    The experiment axis the engine refactor opened: every policy replays
+    the *same* compiled :class:`~repro.ir.program.Program` (one trace,
+    shared through the in-process program cache), so the rows isolate pure
+    scheduling effects.
+    """
+    from repro.api import SvdPlan, execute_sweep
+
+    if full_scale():
+        m = n = 20000
+        tile_size = 160
+    base = SvdPlan(
+        m=m, n=n, stage="ge2bnd", tile_size=tile_size,
+        n_cores=n_cores, n_nodes=n_nodes, tree=tree,
+    )
+    return execute_sweep(base.sweep(policy=list(policies)), backend="simulate")
+
+
 def plan_backend_matrix(
     m: int = 60,
     n: int = 40,

@@ -132,6 +132,12 @@ def _experiments() -> List[Experiment]:
             runner=figures.plan_tree_sweep,
         ),
         Experiment(
+            key="policy-sweep",
+            paper_ref="Section V (engine refactor)",
+            description="Scheduling-policy sweep replaying one cached Program per shape",
+            runner=figures.policy_sweep,
+        ),
+        Experiment(
             key="tuning-sweep",
             paper_ref="Section VI-B (autotuning)",
             description="Autotuned (tile size, tree, variant) per matrix shape via repro.tuning",

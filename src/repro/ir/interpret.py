@@ -1,0 +1,34 @@
+"""Replay a compiled Program against any kernel executor.
+
+``replay(program, executor)`` re-issues the program's op stream, in its
+original sequentially consistent order, as calls on a
+:class:`~repro.algorithms.executor.KernelExecutor`.  Replaying onto a
+:class:`~repro.algorithms.executor.NumericExecutor` performs the real
+factorization; replaying onto a second recorder reproduces the program.
+This is what makes the numeric runs, the DAG analyses and the runtime
+simulation provably consume the same op stream: they all interpret the
+same compiled :class:`~repro.ir.program.Program`.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.executor import KernelExecutor
+from repro.ir.program import Program
+
+
+def replay(program: Program, executor: KernelExecutor) -> None:
+    """Dispatch every op of ``program`` to ``executor``, in stream order.
+
+    The executor must cover the program's tile shape: replaying a ``p x q``
+    program onto a smaller matrix would index out of range.
+    """
+    key = program.key
+    if key is not None:
+        _, p, q = key[0], key[1], key[2]
+        if executor.p < p or executor.q < q:
+            raise ValueError(
+                f"program was compiled for {p}x{q} tiles but the executor "
+                f"covers only {executor.p}x{executor.q}"
+            )
+    for op in program.ops:
+        getattr(executor, op.kernel.name.lower())(*op.params)

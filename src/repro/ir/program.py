@@ -1,0 +1,291 @@
+"""The op-stream Program IR and its dependency analyzer.
+
+A :class:`Program` is the compiled form of one tiled algorithm at one tile
+shape: a flat stream of :class:`Op` records (one per tile-kernel call, in
+the sequentially consistent order the driver issued them) plus the
+dependency DAG stored as two CSR arrays (predecessors and successors).
+Programs are immutable and cheap to replay, which is what lets a tuning
+sweep trace each DAG shape once and re-schedule it many times.
+
+The dependencies are inferred by :class:`DependencyAnalyzer`, the
+superscalar logic a PaRSEC/StarPU-style runtime applies to its task
+stream (previously buried inside :mod:`repro.dag.tracer`):
+
+* a task that *writes* a data item depends on the item's last writer and on
+  every reader since that write (RAW + WAR);
+* a task that *reads* a data item depends on its last writer (RAW).
+
+Data items are tile *halves* (upper = factor part, lower = reflector part);
+see :mod:`repro.dag.task` for why this split is needed to reproduce the
+dependency structure — and hence the critical paths — of the paper.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.dag.task import DataItem, Task, TaskGraph
+from repro.kernels.costs import KernelName
+
+
+@dataclass(frozen=True)
+class Op:
+    """One tile-kernel instance in a compiled program.
+
+    The fields mirror :class:`repro.dag.task.Task` (``index`` plays the
+    role of the dense task id) so that programs and legacy task graphs are
+    freely interconvertible.
+    """
+
+    index: int
+    kernel: KernelName
+    params: Tuple[int, ...]
+    reads: FrozenSet[DataItem]
+    writes: FrozenSet[DataItem]
+    weight: int
+    owner_tile: Tuple[int, int]
+    step: str = ""
+
+
+class DependencyAnalyzer:
+    """Superscalar RAW/WAR dependency inference over a stream of accesses.
+
+    Feed it one op at a time (:meth:`add`) and it returns the ids of the
+    ops the new op depends on.  Data items are iterated in sorted order, so
+    the produced edge ordering is independent of ``PYTHONHASHSEED`` — a
+    prerequisite for bit-reproducible schedules.
+    """
+
+    def __init__(self) -> None:
+        self._last_writer: Dict[DataItem, int] = {}
+        self._readers_since_write: Dict[DataItem, List[int]] = {}
+        self._count = 0
+
+    def add(
+        self, reads: FrozenSet[DataItem], writes: FrozenSet[DataItem]
+    ) -> List[int]:
+        """Register op ``id = current count``; return its predecessor ids."""
+        tid = self._count
+        self._count += 1
+        preds: set[int] = set()
+        for item in sorted(reads | writes):
+            writer = self._last_writer.get(item)
+            if writer is not None:
+                preds.add(writer)
+        for item in sorted(writes):
+            # WAR: wait for every reader since the last write.
+            preds.update(self._readers_since_write.get(item, ()))
+        # Update the bookkeeping *after* all edges are found.
+        for item in writes:
+            self._last_writer[item] = tid
+            self._readers_since_write[item] = []
+        for item in reads - writes:
+            self._readers_since_write.setdefault(item, []).append(tid)
+        preds.discard(tid)
+        return sorted(preds)
+
+
+def _csr_from_lists(lists: Sequence[Sequence[int]]) -> Tuple[array, array]:
+    indptr = array("q", [0])
+    ids = array("q")
+    for row in lists:
+        ids.extend(row)
+        indptr.append(len(ids))
+    return indptr, ids
+
+
+class Program:
+    """An immutable op stream with CSR dependency structure.
+
+    Build one with :meth:`from_ops` (runs the :class:`DependencyAnalyzer`),
+    :meth:`from_task_graph` (wraps a legacy :class:`~repro.dag.task.TaskGraph`)
+    or, most commonly, through :func:`repro.ir.compiler.compile_program`.
+    """
+
+    __slots__ = (
+        "ops",
+        "key",
+        "_pred_indptr",
+        "_pred_ids",
+        "_succ_indptr",
+        "_succ_ids",
+    )
+
+    def __init__(
+        self,
+        ops: Sequence[Op],
+        pred_lists: Sequence[Sequence[int]],
+        key: Optional[Tuple] = None,
+    ) -> None:
+        self.ops: Tuple[Op, ...] = tuple(ops)
+        self.key = key
+        n = len(self.ops)
+        if len(pred_lists) != n:
+            raise ValueError(
+                f"{n} ops but {len(pred_lists)} predecessor lists"
+            )
+        succ_lists: List[List[int]] = [[] for _ in range(n)]
+        for dst, preds in enumerate(pred_lists):
+            for src in preds:
+                if not (0 <= src < dst):
+                    raise ValueError(
+                        f"edge {src} -> {dst} violates insertion-order topology"
+                    )
+                succ_lists[src].append(dst)
+        self._pred_indptr, self._pred_ids = _csr_from_lists(pred_lists)
+        self._succ_indptr, self._succ_ids = _csr_from_lists(succ_lists)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_ops(cls, ops: Iterable[Op], key: Optional[Tuple] = None) -> "Program":
+        """Analyze the access sets of ``ops`` and build the CSR dependency DAG."""
+        ops = tuple(ops)
+        analyzer = DependencyAnalyzer()
+        pred_lists = [analyzer.add(op.reads, op.writes) for op in ops]
+        return cls(ops, pred_lists, key=key)
+
+    @classmethod
+    def from_task_graph(cls, graph: TaskGraph) -> "Program":
+        """Wrap an explicit legacy task graph (keeps its exact edge set)."""
+        ops = [
+            Op(
+                index=t.id,
+                kernel=t.kernel,
+                params=t.params,
+                reads=t.reads,
+                writes=t.writes,
+                weight=t.weight,
+                owner_tile=t.owner_tile,
+                step=t.step,
+            )
+            for t in graph.tasks
+        ]
+        pred_lists = [sorted(graph.predecessors[t.id]) for t in graph.tasks]
+        return cls(ops, pred_lists)
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self._pred_ids)
+
+    def predecessors(self, index: int) -> Sequence[int]:
+        """Ids of the ops ``index`` depends on (ascending)."""
+        return self._pred_ids[self._pred_indptr[index]: self._pred_indptr[index + 1]]
+
+    def successors(self, index: int) -> Sequence[int]:
+        """Ids of the ops depending on ``index`` (ascending)."""
+        return self._succ_ids[self._succ_indptr[index]: self._succ_indptr[index + 1]]
+
+    def indegrees(self) -> List[int]:
+        """Number of predecessors of each op (fresh list, safe to mutate)."""
+        indptr = self._pred_indptr
+        return [indptr[i + 1] - indptr[i] for i in range(len(self.ops))]
+
+    def sources(self) -> List[int]:
+        """Ops with no predecessors."""
+        return [i for i, d in enumerate(self.indegrees()) if d == 0]
+
+    def edges(self) -> Iterable[Tuple[int, int]]:
+        """All ``(src, dst)`` dependency pairs, grouped by ``dst``."""
+        for dst in range(len(self.ops)):
+            for src in self.predecessors(dst):
+                yield (src, dst)
+
+    # ------------------------------------------------------------------ #
+    # Aggregates and analyses
+    # ------------------------------------------------------------------ #
+    def total_weight(self) -> int:
+        """Sum of all op weights (the sequential time in Table-I units)."""
+        return sum(op.weight for op in self.ops)
+
+    def kernel_counts(self) -> Dict[KernelName, int]:
+        """Histogram of kernel types."""
+        counts: Dict[KernelName, int] = {}
+        for op in self.ops:
+            counts[op.kernel] = counts.get(op.kernel, 0) + 1
+        return counts
+
+    def critical_path(
+        self, weight_fn: Optional[Callable[[Op], float]] = None
+    ) -> float:
+        """Length of the heaviest dependent chain.
+
+        The default weighs ops by their Table-I weight (``nb^3 / 3`` flop
+        units), matching :func:`repro.dag.critical_path.critical_path_length`.
+        """
+        if not self.ops:
+            return 0.0
+        if weight_fn is None:
+            weight_fn = lambda op: float(op.weight)  # noqa: E731
+        finish = [0.0] * len(self.ops)
+        best = 0.0
+        for i, op in enumerate(self.ops):
+            start = 0.0
+            for pred in self.predecessors(i):
+                if finish[pred] > start:
+                    start = finish[pred]
+            end = start + weight_fn(op)
+            finish[i] = end
+            if end > best:
+                best = end
+        return best
+
+    def bottom_levels(self, durations: Sequence[float]) -> List[float]:
+        """Longest downstream path (inclusive) of each op, in ``durations`` units."""
+        n = len(self.ops)
+        levels = [0.0] * n
+        for i in range(n - 1, -1, -1):
+            succ_best = 0.0
+            for s in self.successors(i):
+                if levels[s] > succ_best:
+                    succ_best = levels[s]
+            levels[i] = durations[i] + succ_best
+        return levels
+
+    # ------------------------------------------------------------------ #
+    # Interop
+    # ------------------------------------------------------------------ #
+    def to_task_graph(self) -> TaskGraph:
+        """Materialize a fresh legacy :class:`~repro.dag.task.TaskGraph`.
+
+        Each call builds a new graph, so callers may mutate the result
+        without corrupting a cached program.
+        """
+        graph = TaskGraph()
+        for op in self.ops:
+            graph.add_task(
+                Task(
+                    id=op.index,
+                    kernel=op.kernel,
+                    params=op.params,
+                    reads=op.reads,
+                    writes=op.writes,
+                    weight=op.weight,
+                    owner_tile=op.owner_tile,
+                    step=op.step,
+                )
+            )
+        for src, dst in self.edges():
+            graph.add_edge(src, dst)
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Program(n_ops={len(self.ops)}, n_edges={self.n_edges}, key={self.key!r})"

@@ -1,0 +1,189 @@
+"""Capture a tiled-algorithm driver run into a :class:`Program`.
+
+:class:`ProgramRecorder` implements the
+:class:`~repro.algorithms.executor.KernelExecutor` interface: instead of
+touching numbers it appends one :class:`~repro.ir.program.Op` per kernel
+call, carrying the kernel's read/write sets (tile halves — the access-set
+conventions the legacy :class:`repro.dag.tracer.TraceExecutor` pioneered).
+The dependency edges are *not* inferred here; that is
+:class:`~repro.ir.program.DependencyAnalyzer`'s job when the stream is
+finalized into a :class:`~repro.ir.program.Program`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.algorithms.executor import KernelExecutor
+from repro.dag.task import DataItem
+from repro.ir.program import Op, Program
+from repro.kernels.costs import KernelName, kernel_weight
+
+
+def _upper(i: int, j: int) -> DataItem:
+    return ("U", i, j)
+
+
+def _lower(i: int, j: int) -> DataItem:
+    return ("L", i, j)
+
+
+def _whole(i: int, j: int) -> Tuple[DataItem, DataItem]:
+    return (_upper(i, j), _lower(i, j))
+
+
+class ProgramRecorder(KernelExecutor):
+    """Executor that records the op stream instead of computing."""
+
+    def __init__(self, p: int, q: int) -> None:
+        if p < 1 or q < 1:
+            raise ValueError(f"tile shape must be at least 1x1, got {p}x{q}")
+        self._p = p
+        self._q = q
+        self.ops: List[Op] = []
+        #: Panel step label (``QR(k)`` / ``LQ(k)``) stamped on recorded ops;
+        #: the drivers update it as they go.
+        self.current_step: str = ""
+
+    @property
+    def p(self) -> int:
+        return self._p
+
+    @property
+    def q(self) -> int:
+        return self._q
+
+    def program(self, key: Optional[Tuple] = None) -> Program:
+        """Finalize the recorded stream into an immutable :class:`Program`."""
+        return Program.from_ops(self.ops, key=key)
+
+    # ------------------------------------------------------------------ #
+    # Op recording
+    # ------------------------------------------------------------------ #
+    def _record(
+        self,
+        kernel: KernelName,
+        params: Tuple[int, ...],
+        reads: Iterable[DataItem],
+        writes: Iterable[DataItem],
+        owner_tile: Tuple[int, int],
+    ) -> None:
+        self.ops.append(
+            Op(
+                index=len(self.ops),
+                kernel=kernel,
+                params=params,
+                reads=frozenset(reads),
+                writes=frozenset(writes),
+                weight=kernel_weight(kernel),
+                owner_tile=owner_tile,
+                step=self.current_step,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # QR family
+    # ------------------------------------------------------------------ #
+    def geqrt(self, i: int, k: int) -> None:
+        self._record(KernelName.GEQRT, (i, k), reads=(), writes=_whole(i, k), owner_tile=(i, k))
+
+    def unmqr(self, i: int, k: int, j: int) -> None:
+        self._record(
+            KernelName.UNMQR,
+            (i, k, j),
+            reads=(_lower(i, k),),
+            writes=_whole(i, j),
+            owner_tile=(i, j),
+        )
+
+    def tsqrt(self, piv: int, i: int, k: int) -> None:
+        self._record(
+            KernelName.TSQRT,
+            (piv, i, k),
+            reads=(),
+            writes=(_upper(piv, k),) + _whole(i, k),
+            owner_tile=(i, k),
+        )
+
+    def tsmqr(self, piv: int, i: int, k: int, j: int) -> None:
+        self._record(
+            KernelName.TSMQR,
+            (piv, i, k, j),
+            reads=_whole(i, k),
+            writes=_whole(piv, j) + _whole(i, j),
+            owner_tile=(i, j),
+        )
+
+    def ttqrt(self, piv: int, i: int, k: int) -> None:
+        # The TT reflectors are stored in the *upper* (triangular) part of the
+        # killed tile; the lower part still holds the GEQRT reflectors, which
+        # is why TTQRT does not conflict with the UNMQR updates of row i.
+        self._record(
+            KernelName.TTQRT,
+            (piv, i, k),
+            reads=(),
+            writes=(_upper(piv, k), _upper(i, k)),
+            owner_tile=(i, k),
+        )
+
+    def ttmqr(self, piv: int, i: int, k: int, j: int) -> None:
+        self._record(
+            KernelName.TTMQR,
+            (piv, i, k, j),
+            reads=(_upper(i, k),),
+            writes=_whole(piv, j) + _whole(i, j),
+            owner_tile=(i, j),
+        )
+
+    # ------------------------------------------------------------------ #
+    # LQ family
+    # ------------------------------------------------------------------ #
+    def gelqt(self, k: int, j: int) -> None:
+        self._record(KernelName.GELQT, (k, j), reads=(), writes=_whole(k, j), owner_tile=(k, j))
+
+    def unmlq(self, k: int, j: int, i: int) -> None:
+        self._record(
+            KernelName.UNMLQ,
+            (k, j, i),
+            reads=(_upper(k, j),),
+            writes=_whole(i, j),
+            owner_tile=(i, j),
+        )
+
+    def tslqt(self, piv: int, j: int, k: int) -> None:
+        self._record(
+            KernelName.TSLQT,
+            (piv, j, k),
+            reads=(),
+            writes=(_lower(k, piv),) + _whole(k, j),
+            owner_tile=(k, j),
+        )
+
+    def tsmlq(self, piv: int, j: int, k: int, i: int) -> None:
+        self._record(
+            KernelName.TSMLQ,
+            (piv, j, k, i),
+            reads=_whole(k, j),
+            writes=_whole(i, piv) + _whole(i, j),
+            owner_tile=(i, j),
+        )
+
+    def ttlqt(self, piv: int, j: int, k: int) -> None:
+        # Mirror of ttqrt: the TT reflectors live in the *lower* part of the
+        # killed tile, leaving the GELQT reflectors (upper part) untouched.
+        self._record(
+            KernelName.TTLQT,
+            (piv, j, k),
+            reads=(),
+            writes=(_lower(k, piv), _lower(k, j)),
+            owner_tile=(k, j),
+        )
+
+    def ttmlq(self, piv: int, j: int, k: int, i: int) -> None:
+        self._record(
+            KernelName.TTMLQ,
+            (piv, j, k, i),
+            reads=(_lower(k, j),),
+            writes=_whole(i, piv) + _whole(i, j),
+            owner_tile=(i, j),
+        )

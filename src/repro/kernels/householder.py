@@ -21,6 +21,12 @@ from typing import Tuple
 
 import numpy as np
 
+#: Entry-magnitude range within which ``x . x`` neither underflows nor
+#: overflows in double precision; outside it the reflector is computed on
+#: a rescaled vector (cf. LAPACK ``dlarfg`` / ``dlassq``).
+_RESCALE_MIN = 1e-140
+_RESCALE_MAX = 1e140
+
 
 def householder_vector(x: np.ndarray) -> Tuple[np.ndarray, float, float]:
     """Compute an elementary Householder reflector for the vector ``x``.
@@ -34,6 +40,15 @@ def householder_vector(x: np.ndarray) -> Tuple[np.ndarray, float, float]:
     x = np.asarray(x, dtype=float)
     if x.ndim != 1 or x.size == 0:
         raise ValueError("householder_vector expects a non-empty 1-D array")
+    xmax = float(np.max(np.abs(x)))
+    if xmax != 0.0 and not (_RESCALE_MIN <= xmax <= _RESCALE_MAX):
+        # dlarfg-style guard: squaring entries this small (large) under-
+        # (over-)flows, destroying the reflector's orthogonality.  Compute
+        # on a power-of-two rescaling (exact) and scale beta back; v and
+        # tau are invariant under scaling of x.
+        s = 2.0 ** -float(np.floor(np.log2(xmax)))
+        v, tau, beta = householder_vector(x * s)
+        return v, tau, beta / s
     alpha = x[0]
     sigma = float(np.dot(x[1:], x[1:]))
     v = x.copy()

@@ -1,6 +1,18 @@
-"""PaRSEC-like runtime simulator: machine model, list scheduler, drivers."""
+"""PaRSEC-like runtime simulator: machine model, engine, policies, drivers."""
 
 from repro.runtime.machine import Machine
+from repro.runtime.engine import (
+    SimulationEngine,
+    critical_path_seconds,
+    run_policy,
+    serial_seconds,
+)
+from repro.runtime.policies import (
+    POLICIES,
+    SchedulingPolicy,
+    available_policies,
+    get_policy,
+)
 from repro.runtime.scheduler import ListScheduler, Schedule
 from repro.runtime.simulator import (
     SimulationResult,
@@ -12,8 +24,16 @@ from repro.runtime.simulator import (
 __all__ = [
     "Machine",
     "ListScheduler",
+    "POLICIES",
     "Schedule",
+    "SchedulingPolicy",
+    "SimulationEngine",
     "SimulationResult",
+    "available_policies",
+    "critical_path_seconds",
+    "get_policy",
+    "run_policy",
+    "serial_seconds",
     "simulate_graph",
     "simulate_ge2bnd",
     "simulate_ge2val",

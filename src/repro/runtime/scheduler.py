@@ -1,35 +1,40 @@
-"""Online list scheduler for task graphs on a multi-node machine.
+"""Schedule container and the legacy list-scheduler front-end.
 
-The scheduler mimics the behaviour of the PaRSEC runtime the paper relies
-on:
+The scheduling loop that used to live here has moved into the
+engine/policy split of :mod:`repro.runtime.engine` and
+:mod:`repro.runtime.policies`: the event-driven
+:class:`~repro.runtime.engine.SimulationEngine` owns core events,
+dependency release and the communication model, while a pluggable
+:class:`~repro.runtime.policies.SchedulingPolicy` ranks the ready queue.
+This module keeps the two pieces every call site still needs:
 
-* **owner computes** — every task runs on the node that owns the tile it
-  writes (2D block-cyclic distribution), exactly how DPLASMA maps tasks;
-* **greedy, priority-driven scheduling** — whenever a core is free, it picks
-  the ready task with the highest priority; priorities are *bottom levels*
-  (longest downstream path), which approximates PaRSEC's priority function
-  and the data-reuse heuristic closely enough for performance shapes;
-* **communication** — an edge whose producer and consumer live on different
-  nodes delays the consumer by one tile transfer (latency + size/bandwidth)
-  and is charged to the communication-volume statistics.  Transfers of the
-  same produced data item to the same destination node are counted once
-  (the runtime caches remote tiles).
+* :class:`Schedule` — the result record (makespan, per-task times, node
+  mapping, communication statistics);
+* :class:`ListScheduler` — the backward-compatible front-end, now a thin
+  shell that maps its ``priority`` argument onto the corresponding policy
+  (``bottom-level`` → ``list``, ``fifo`` → ``fifo``, ``weight`` →
+  ``weight``) and delegates to the engine.  With the default priority it
+  reproduces the original greedy bottom-level list scheduler bit for bit.
+
+The behaviour still mimics the PaRSEC runtime the paper relies on:
+owner-computes task mapping over a 2D block-cyclic distribution, greedy
+priority-driven scheduling, and one tile transfer charged per
+(producer, destination node) pair.
 """
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.dag.task import TaskGraph
 from repro.runtime.machine import Machine
-from repro.tiles.distribution import BlockCyclicDistribution, ProcessGrid
+from repro.tiles.distribution import BlockCyclicDistribution
 
 
 @dataclass
 class Schedule:
-    """Result of scheduling a task graph.
+    """Result of scheduling a task graph / program.
 
     Attributes
     ----------
@@ -52,9 +57,9 @@ class Schedule:
     busy_time_per_node: List[float]
     messages: int
     comm_bytes: int
-    #: Core index (within its node) each task ran on; filled by the list
-    #: scheduler and used by the Gantt-chart / utilization tooling in
-    #: :mod:`repro.runtime.trace`.  ``None`` for schedules built by hand.
+    #: Core index (within its node) each task ran on; filled by the
+    #: simulation engine and used by the Gantt-chart / utilization tooling
+    #: in :mod:`repro.runtime.trace`.  ``None`` for schedules built by hand.
     core_of_task: Optional[List[int]] = None
 
     @property
@@ -70,7 +75,7 @@ class Schedule:
 
 
 class ListScheduler:
-    """Greedy list scheduler with owner-computes mapping.
+    """Greedy list scheduler with owner-computes mapping (legacy front-end).
 
     Parameters
     ----------
@@ -79,10 +84,20 @@ class ListScheduler:
     distribution:
         Tile-to-node mapping; defaults to a 2D block-cyclic distribution on
         the near-square process grid for the machine's node count.
+    priority:
+        Legacy priority name; mapped onto the engine policies
+        (see :data:`repro.runtime.policies.POLICIES`).
     """
 
     #: Recognised priority policies (see ``priority`` constructor argument).
     PRIORITIES = ("bottom-level", "fifo", "weight")
+
+    #: Legacy priority name -> engine policy name.
+    _POLICY_OF_PRIORITY = {
+        "bottom-level": "list",
+        "fifo": "fifo",
+        "weight": "weight",
+    }
 
     def __init__(
         self,
@@ -91,123 +106,19 @@ class ListScheduler:
         *,
         priority: str = "bottom-level",
     ) -> None:
-        self.machine = machine
+        from repro.runtime.engine import SimulationEngine
+
         if priority not in self.PRIORITIES:
             raise ValueError(
                 f"unknown priority policy {priority!r}; available: {self.PRIORITIES}"
             )
+        self.machine = machine
         self.priority_policy = priority
-        if distribution is None:
-            distribution = BlockCyclicDistribution(
-                ProcessGrid.for_square_matrix(machine.n_nodes)
-            )
-        if distribution.grid.size != machine.n_nodes:
-            raise ValueError(
-                f"distribution has {distribution.grid.size} processes but the machine "
-                f"has {machine.n_nodes} nodes"
-            )
-        self.distribution = distribution
-
-    # ------------------------------------------------------------------ #
-    def _bottom_levels(self, graph: TaskGraph, durations: List[float]) -> List[float]:
-        """Longest downstream path (inclusive) of each task, in seconds."""
-        levels = [0.0] * len(graph)
-        for tid in reversed(graph.topological_order()):
-            succ_best = 0.0
-            for s in graph.successors[tid]:
-                if levels[s] > succ_best:
-                    succ_best = levels[s]
-            levels[tid] = durations[tid] + succ_best
-        return levels
+        self._engine = SimulationEngine(
+            machine, distribution, policy=self._POLICY_OF_PRIORITY[priority]
+        )
+        self.distribution = self._engine.distribution
 
     def run(self, graph: TaskGraph) -> Schedule:
         """Simulate the execution of ``graph`` and return the schedule."""
-        n = len(graph)
-        machine = self.machine
-        if n == 0:
-            return Schedule(0.0, [], [], [], [0.0] * machine.n_nodes, 0, 0)
-
-        durations = [machine.kernel_duration(t.kernel) for t in graph.tasks]
-        if self.priority_policy == "bottom-level":
-            priority = self._bottom_levels(graph, durations)
-        elif self.priority_policy == "weight":
-            priority = durations
-        else:  # "fifo": earlier tasks first (insertion order is topological)
-            priority = [float(n - tid) for tid in range(n)]
-        node_of_task = [
-            self.distribution.owner(*t.owner_tile) if machine.n_nodes > 1 else 0
-            for t in graph.tasks
-        ]
-
-        indegree = [len(graph.predecessors[tid]) for tid in range(n)]
-        ready_time = [0.0] * n
-        start = [0.0] * n
-        finish = [0.0] * n
-        busy = [0.0] * machine.n_nodes
-        messages = 0
-        comm_bytes = 0
-        transfer = machine.transfer_time()
-        seen_transfers: set[Tuple[int, int]] = set()
-
-        # Per-node: heap of (free time, core index), heap of ready tasks.
-        core_of_task = [0] * n
-        core_heaps: List[List[Tuple[float, int]]] = [
-            [(0.0, c) for c in range(machine.cores_per_node)]
-            for _ in range(machine.n_nodes)
-        ]
-        for h in core_heaps:
-            heapq.heapify(h)
-        ready_heaps: List[List[Tuple[float, int]]] = [[] for _ in range(machine.n_nodes)]
-
-        def push_ready(tid: int) -> None:
-            heapq.heappush(ready_heaps[node_of_task[tid]], (-priority[tid], tid))
-
-        for tid in range(n):
-            if indegree[tid] == 0:
-                push_ready(tid)
-
-        scheduled = 0
-        while scheduled < n:
-            progressed = False
-            for node in range(machine.n_nodes):
-                heap = ready_heaps[node]
-                while heap:
-                    _, tid = heapq.heappop(heap)
-                    core_free, core_idx = heapq.heappop(core_heaps[node])
-                    t_start = max(core_free, ready_time[tid])
-                    t_finish = t_start + durations[tid]
-                    start[tid] = t_start
-                    finish[tid] = t_finish
-                    core_of_task[tid] = core_idx
-                    busy[node] += durations[tid]
-                    heapq.heappush(core_heaps[node], (t_finish, core_idx))
-                    scheduled += 1
-                    progressed = True
-                    # Release successors.
-                    for succ in graph.successors[tid]:
-                        arrival = t_finish
-                        if node_of_task[succ] != node:
-                            arrival += transfer
-                            key = (tid, node_of_task[succ])
-                            if key not in seen_transfers:
-                                seen_transfers.add(key)
-                                messages += 1
-                                comm_bytes += machine.tile_bytes
-                        if arrival > ready_time[succ]:
-                            ready_time[succ] = arrival
-                        indegree[succ] -= 1
-                        if indegree[succ] == 0:
-                            push_ready(succ)
-            if not progressed:  # pragma: no cover - defensive (cycle)
-                raise RuntimeError("scheduler stalled: the task graph has a cycle")
-
-        return Schedule(
-            makespan=max(finish),
-            start=start,
-            finish=finish,
-            node_of_task=node_of_task,
-            busy_time_per_node=busy,
-            messages=messages,
-            comm_bytes=comm_bytes,
-            core_of_task=core_of_task,
-        )
+        return self._engine.run(graph)

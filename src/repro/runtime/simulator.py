@@ -1,12 +1,16 @@
 """High-level simulation drivers.
 
-``simulate_ge2bnd`` / ``simulate_ge2val`` trace the requested algorithm at
-the requested tile shape, run the list scheduler on the resulting DAG and
-convert the makespan into the GFlop/s numbers the paper's figures report
-(normalising by the direct-bidiagonalization operation count, as the paper
-does).  GE2VAL adds the single-node BND2BD and BD2VAL stages on top of the
-simulated GE2BND time, reproducing the paper's setup where those two stages
-are not distributed.
+``simulate_ge2bnd`` / ``simulate_ge2val`` resolve the requested algorithm
+at the requested tile shape into a compiled
+:class:`~repro.ir.program.Program` (through the shared in-process program
+cache, so repeated simulations of the same DAG shape trace it only once),
+replay it on the event-driven :class:`~repro.runtime.engine.SimulationEngine`
+under the requested scheduling policy, and convert the makespan into the
+GFlop/s numbers the paper's figures report (normalising by the
+direct-bidiagonalization operation count, as the paper does).  GE2VAL adds
+the single-node BND2BD and BD2VAL stages on top of the simulated GE2BND
+time, reproducing the paper's setup where those two stages are not
+distributed.
 """
 
 from __future__ import annotations
@@ -15,7 +19,8 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.dag.task import TaskGraph
-from repro.dag.tracer import trace_bidiag, trace_rbidiag
+from repro.ir.compiler import get_program
+from repro.ir.program import Program
 from repro.models.flops import (
     bd2val_flops,
     bnd2bd_flops,
@@ -23,7 +28,9 @@ from repro.models.flops import (
     ge2val_reported_flops,
 )
 from repro.runtime.machine import Machine
-from repro.runtime.scheduler import ListScheduler, Schedule
+from repro.runtime.engine import SimulationEngine
+from repro.runtime.policies import SchedulingPolicy
+from repro.runtime.scheduler import Schedule
 from repro.tiles.distribution import BlockCyclicDistribution, ProcessGrid
 from repro.tiles.layout import ceil_div
 from repro.trees.base import ReductionTree
@@ -51,6 +58,7 @@ class SimulationResult:
     comm_bytes: int
     ge2bnd_seconds: float
     post_seconds: float = 0.0
+    policy: str = "list"
 
     def __str__(self) -> str:  # pragma: no cover - human-readable report
         return (
@@ -88,6 +96,10 @@ def _resolve_sim_tree(
     )
 
 
+def _policy_name(policy: Union[str, SchedulingPolicy]) -> str:
+    return policy if isinstance(policy, str) else policy.name
+
+
 def _default_grid(machine: Machine, p: int, q: int) -> ProcessGrid:
     """The process grid the paper uses: near-square for square matrices,
     ``nodes x 1`` for tall-and-skinny matrices."""
@@ -97,13 +109,14 @@ def _default_grid(machine: Machine, p: int, q: int) -> ProcessGrid:
 
 
 def simulate_graph(
-    graph: TaskGraph,
+    graph: Union[TaskGraph, Program],
     machine: Machine,
     distribution: Optional[BlockCyclicDistribution] = None,
+    *,
+    policy: Union[str, SchedulingPolicy] = "list",
 ) -> Schedule:
-    """Run the list scheduler on an explicit task graph."""
-    scheduler = ListScheduler(machine, distribution)
-    return scheduler.run(graph)
+    """Replay an explicit task graph / program on the simulation engine."""
+    return SimulationEngine(machine, distribution, policy=policy).run(graph)
 
 
 def simulate_ge2bnd(
@@ -114,6 +127,7 @@ def simulate_ge2bnd(
     tree: Union[str, ReductionTree] = "auto",
     algorithm: str = "bidiag",
     grid: Optional[ProcessGrid] = None,
+    policy: Union[str, SchedulingPolicy] = "list",
 ) -> SimulationResult:
     """Simulate the GE2BND stage for an ``m x n`` matrix.
 
@@ -131,6 +145,10 @@ def simulate_ge2bnd(
     grid:
         Process grid for the block-cyclic distribution; ``None`` uses the
         paper's default for the tile shape (near-square / ``nodes x 1``).
+    policy:
+        Scheduling policy replaying the compiled program (name or
+        :class:`~repro.runtime.policies.SchedulingPolicy`; default the
+        legacy ``"list"`` scheduler).
     """
     if m < n:
         raise ValueError(f"expected m >= n, got {m}x{n}")
@@ -148,18 +166,13 @@ def simulate_ge2bnd(
     tree_name = tree if isinstance(tree, str) else type(tree).__name__
 
     algorithm = algorithm.lower()
-    if algorithm == "bidiag":
-        graph = trace_bidiag(
-            p, q, tree_obj, n_cores=machine.cores_per_node, grid_rows=grid.rows
-        )
-    elif algorithm == "rbidiag":
-        graph = trace_rbidiag(
-            p, q, tree_obj, n_cores=machine.cores_per_node, grid_rows=grid.rows
-        )
-    else:
+    if algorithm not in ("bidiag", "rbidiag"):
         raise ValueError(f"unknown algorithm {algorithm!r} (use 'bidiag' or 'rbidiag')")
+    program = get_program(
+        algorithm, p, q, tree_obj, n_cores=machine.cores_per_node, grid_rows=grid.rows
+    )
 
-    schedule = simulate_graph(graph, machine, distribution)
+    schedule = simulate_graph(program, machine, distribution, policy=policy)
     flops = ge2bnd_reported_flops(m, n)
     time = schedule.makespan
     return SimulationResult(
@@ -172,10 +185,11 @@ def simulate_ge2bnd(
         machine_nodes=machine.n_nodes,
         time_seconds=time,
         gflops=flops / time / 1e9 if time > 0 else 0.0,
-        n_tasks=len(graph),
+        n_tasks=len(program),
         messages=schedule.messages,
         comm_bytes=schedule.comm_bytes,
         ge2bnd_seconds=time,
+        policy=_policy_name(policy),
     )
 
 
@@ -204,6 +218,7 @@ def simulate_ge2val(
     tree: Union[str, ReductionTree] = "auto",
     algorithm: str = "auto",
     grid: Optional[ProcessGrid] = None,
+    policy: Union[str, SchedulingPolicy] = "list",
 ) -> SimulationResult:
     """Simulate the full GE2VAL pipeline (GE2BND + BND2BD + BD2VAL).
 
@@ -216,7 +231,9 @@ def simulate_ge2val(
         from repro.api.resolver import resolve_variant
 
         algorithm = resolve_variant(algorithm, m, n)
-    base = simulate_ge2bnd(m, n, machine, tree=tree, algorithm=algorithm, grid=grid)
+    base = simulate_ge2bnd(
+        m, n, machine, tree=tree, algorithm=algorithm, grid=grid, policy=policy
+    )
     post = post_processing_seconds(n, machine)
     total = base.time_seconds + post
     flops = ge2val_reported_flops(m, n)
@@ -235,4 +252,5 @@ def simulate_ge2val(
         comm_bytes=base.comm_bytes,
         ge2bnd_seconds=base.ge2bnd_seconds,
         post_seconds=post,
+        policy=base.policy,
     )

@@ -18,6 +18,12 @@ Objectives may also expose an *optimistic analytic bound* on their score
 the performance model.  The search strategies use it to prune candidates
 that provably cannot improve on the best score already measured, which is
 what keeps large sweeps fast.
+
+All the DAG-consuming objectives resolve their op stream through the
+shared in-process program cache (:mod:`repro.ir`): candidates that share a
+DAG shape — same variant, tile grid, tree and core count, e.g. an
+inner-block or policy sweep at fixed ``nb`` — trace it once and replay it
+from then on, instead of re-tracing per candidate.
 """
 
 from __future__ import annotations
@@ -154,10 +160,10 @@ class CommVolumeObjective(Objective):
 
     def score(self, resolved: ResolvedPlan) -> float:
         from repro.analysis.communication import communication_volume
-        from repro.dag.tracer import trace_bidiag, trace_rbidiag
+        from repro.ir import get_program
 
-        tracer = trace_bidiag if resolved.variant == "bidiag" else trace_rbidiag
-        graph = tracer(
+        program = get_program(
+            resolved.variant,
             resolved.p,
             resolved.q,
             resolved.tree,
@@ -165,7 +171,7 @@ class CommVolumeObjective(Objective):
             grid_rows=resolved.grid.rows,
         )
         stats = communication_volume(
-            graph, resolved.distribution, tile_size=resolved.tile_size
+            program.to_task_graph(), resolved.distribution, tile_size=resolved.tile_size
         )
         return float(stats.bytes_moved)
 

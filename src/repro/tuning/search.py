@@ -411,6 +411,7 @@ def _tune_cache_key(
             "machine": base.machine,
             "n_nodes": base.n_nodes,
             "n_cores": base.n_cores,
+            "policy": base.policy,
             "auto_gamma": config.auto_gamma,
             "objective": objective.name,
             "strategy": strategy_name,

@@ -49,6 +49,17 @@ class TestHouseholderVector:
         assert tau == 0.0
         assert beta == -2.5
 
+    @pytest.mark.parametrize("scale", [7.24853263e-162, 1e-200, 1e180])
+    def test_extreme_magnitudes_stay_orthogonal(self, scale):
+        # Squared entries under/overflow double precision; the dlarfg-style
+        # rescaling must keep the reflector orthogonal (hypothesis found the
+        # 7.2e-162 case).
+        x = np.array([1.0, 1.0]) * scale
+        v, tau, beta = householder_vector(x)
+        h = np.eye(x.size) - tau * np.outer(v, v)
+        np.testing.assert_allclose(h @ h, np.eye(x.size), atol=1e-12)
+        assert abs(beta) == pytest.approx(np.sqrt(2.0) * scale, rel=1e-12)
+
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             householder_vector(np.array([]))

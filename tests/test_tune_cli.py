@@ -39,9 +39,10 @@ class TestPlanRowSchema:
     def test_simulate_row_schema_is_pinned(self, tmp_path):
         (row,) = self.run_rows(tmp_path, "--backend", "simulate")
         assert set(row) == PLAN_KEYS | {
-            "time_seconds", "gflops", "n_tasks", "messages", "comm_bytes",
-            "seconds_ge2bnd", "seconds_post",
+            "policy", "time_seconds", "gflops", "n_tasks", "messages",
+            "comm_bytes", "seconds_ge2bnd", "seconds_post",
         }
+        assert row["policy"] == "list"
 
     def test_rows_are_resolved_not_requested(self, tmp_path):
         """Rows carry concrete values: resolved nb, tree name, variant."""
