@@ -6,24 +6,51 @@ top tree "doubles the number of communications on square cases" compared to
 the flat tree, which is why the flat tree can win despite exposing less
 parallelism.  These tools quantify that trade-off:
 
-* :func:`communication_volume` counts, from a traced task graph and a
+* :func:`communication_volume` counts, from a compiled
+  :class:`~repro.ir.program.Program` (or a legacy traced task graph) and a
   block-cyclic distribution, the inter-node messages the owner-computes
   rule induces (one message per produced data item and destination node,
   matching the runtime simulator's accounting);
 * :func:`communication_matrix` breaks the same count down by
   (source node, destination node) pair;
 * :func:`panel_messages_estimate` gives the closed-form per-panel message
-  counts of the flat and binomial top trees used in the discussion.
+  counts of the flat and binomial top trees used in the discussion — the
+  level at which the paper's factor-of-two statement holds exactly;
+* :func:`engine_communication_check` cross-checks a simulated
+  :class:`~repro.runtime.scheduler.Schedule`'s message accounting against
+  these static counts: both deduplicate transfers per (producer,
+  destination node), so engine and analysis must agree *exactly*, under
+  every scheduling policy and network model.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterator, List, Sequence, Tuple, Union
 
 from repro.dag.task import TaskGraph
+from repro.ir.program import Program
 from repro.tiles.distribution import BlockCyclicDistribution
+
+GraphLike = Union[TaskGraph, Program]
+
+
+def _owner_tiles(graph: GraphLike) -> List[Tuple[int, int]]:
+    """Owner tile of every task/op, indexed by dense id."""
+    if isinstance(graph, Program):
+        return [op.owner_tile for op in graph.ops]
+    return [t.owner_tile for t in graph.tasks]
+
+
+def _successor_lists(graph: GraphLike) -> Iterator[Tuple[int, Sequence[int]]]:
+    """``(task id, successor ids)`` pairs for either DAG container."""
+    if isinstance(graph, Program):
+        for src_id in range(len(graph)):
+            yield src_id, graph.successors(src_id)
+    else:
+        for src_id, dsts in graph.successors.items():
+            yield src_id, dsts
 
 
 @dataclass(frozen=True)
@@ -38,7 +65,11 @@ class CommunicationStats:
         Same count — kept as an explicit alias because each message carries
         exactly one tile in this model.
     bytes_moved:
-        Total bytes moved for a given tile size (``messages * nb^2 * 8``).
+        Total bytes moved at the legacy full-tile-per-message accounting
+        (``messages * nb^2 * 8``, the ``uniform`` network model's pricing;
+        the ``alpha-beta`` model derives smaller per-message payloads from
+        the producing op's written tile halves, so only message *counts* —
+        not byte totals — are comparable across network models).
     per_node_sent:
         Messages sent by each node (indexed by rank).
     per_node_received:
@@ -53,25 +84,29 @@ class CommunicationStats:
 
 
 def communication_volume(
-    graph: TaskGraph,
+    graph: GraphLike,
     distribution: BlockCyclicDistribution,
     *,
     tile_size: int = 160,
 ) -> CommunicationStats:
     """Count the inter-node transfers of ``graph`` under ``distribution``.
 
-    A transfer happens when a task's output is consumed by a task mapped to
-    a different node; transfers of the same output to the same node are
-    counted once (the runtime caches remote tiles), mirroring the
-    accounting of :class:`repro.runtime.scheduler.ListScheduler`.
+    ``graph`` may be a compiled :class:`~repro.ir.program.Program` or a
+    legacy :class:`~repro.dag.task.TaskGraph`.  A transfer happens when a
+    task's output is consumed by a task mapped to a different node;
+    transfers of the same output to the same node are counted once (the
+    runtime caches remote tiles), mirroring the *message-count* accounting
+    of :class:`repro.runtime.engine.SimulationEngine` under every network
+    model.  Byte totals use the legacy full-tile pricing and match the
+    engine's ``comm_bytes`` only under ``network="uniform"``.
     """
     n_nodes = distribution.grid.size
-    owner = [distribution.owner(*t.owner_tile) for t in graph.tasks]
+    owner = [distribution.owner(*tile) for tile in _owner_tiles(graph)]
     seen: set[Tuple[int, int]] = set()
     sent = [0] * n_nodes
     received = [0] * n_nodes
     messages = 0
-    for src_id, dsts in graph.successors.items():
+    for src_id, dsts in _successor_lists(graph):
         src_node = owner[src_id]
         for dst_id in dsts:
             dst_node = owner[dst_id]
@@ -95,15 +130,15 @@ def communication_volume(
 
 
 def communication_matrix(
-    graph: TaskGraph,
+    graph: GraphLike,
     distribution: BlockCyclicDistribution,
 ) -> List[List[int]]:
     """Message counts per (source node, destination node) pair."""
     n_nodes = distribution.grid.size
-    owner = [distribution.owner(*t.owner_tile) for t in graph.tasks]
+    owner = [distribution.owner(*tile) for tile in _owner_tiles(graph)]
     matrix = [[0] * n_nodes for _ in range(n_nodes)]
     seen: set[Tuple[int, int]] = set()
-    for src_id, dsts in graph.successors.items():
+    for src_id, dsts in _successor_lists(graph):
         src_node = owner[src_id]
         for dst_id in dsts:
             dst_node = owner[dst_id]
@@ -143,9 +178,44 @@ def panel_messages_estimate(grid_rows: int, top: str) -> int:
     raise ValueError(f"unknown top tree {top!r}")
 
 
+def engine_communication_check(
+    schedule,
+    graph: GraphLike,
+    distribution: BlockCyclicDistribution,
+    *,
+    tile_size: int = 160,
+) -> CommunicationStats:
+    """Cross-check a schedule's message accounting against the static counts.
+
+    The :class:`~repro.runtime.engine.SimulationEngine` deduplicates
+    transfers per (producer op, destination node) exactly like
+    :func:`communication_volume`, so the two counts must agree *exactly* —
+    for every scheduling policy and every network model.  Byte totals are
+    deliberately *not* compared: the alpha-beta model prices per-message
+    payloads from the producing op's written tile halves, while the static
+    analysis charges the legacy full tile.  Raises ``ValueError`` on any
+    mismatch (total or per-node sent counts) and returns the static
+    :class:`CommunicationStats` on success.
+    """
+    stats = communication_volume(graph, distribution, tile_size=tile_size)
+    if schedule.messages != stats.messages:
+        raise ValueError(
+            f"engine counted {schedule.messages} messages but the static "
+            f"analysis counts {stats.messages}"
+        )
+    if schedule.messages_per_node is not None and (
+        list(schedule.messages_per_node) != list(stats.per_node_sent)
+    ):
+        raise ValueError(
+            f"engine per-node sent counts {list(schedule.messages_per_node)} "
+            f"disagree with the static analysis {stats.per_node_sent}"
+        )
+    return stats
+
+
 def communication_ratio(
-    graph_a: TaskGraph,
-    graph_b: TaskGraph,
+    graph_a: GraphLike,
+    graph_b: GraphLike,
     distribution: BlockCyclicDistribution,
 ) -> float:
     """Ratio of message counts of two task graphs under the same distribution.

@@ -168,6 +168,7 @@ def _execute_simulate(resolved: ResolvedPlan) -> RunResult:
             algorithm=resolved.variant,
             grid=resolved.grid,
             policy=resolved.plan.policy,
+            network=resolved.plan.network,
         )
     else:
         sim = simulate_ge2val(
@@ -178,14 +179,17 @@ def _execute_simulate(resolved: ResolvedPlan) -> RunResult:
             algorithm=resolved.variant,
             grid=resolved.grid,
             policy=resolved.plan.policy,
+            network=resolved.plan.network,
         )
     result = _base_result(resolved, "simulate")
     result.policy = sim.policy
+    result.network = sim.network
     result.time_seconds = sim.time_seconds
     result.gflops = sim.gflops
     result.n_tasks = sim.n_tasks
     result.messages = sim.messages
     result.comm_bytes = sim.comm_bytes
+    result.comm_seconds = sim.comm_seconds
     result.stage_seconds["ge2bnd"] = sim.ge2bnd_seconds
     if resolved.stage == "ge2val":
         result.stage_seconds["post"] = sim.post_seconds

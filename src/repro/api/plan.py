@@ -84,6 +84,12 @@ class SvdPlan:
         :data:`repro.runtime.policies.POLICIES`); the default ``"list"``
         reproduces the legacy list scheduler exactly.  Ignored by the
         numeric and DAG backends.
+    network:
+        Communication-model fidelity for the simulation engine (see
+        :data:`repro.runtime.network.NETWORK_MODELS`); the default
+        ``"uniform"`` reproduces the legacy flat-cost model exactly,
+        ``"alpha-beta"`` prices each message with latency + bandwidth and
+        serialized NIC injection.  Ignored by the numeric and DAG backends.
     seed:
         Seed of the generated input matrix when ``matrix`` is omitted.
     config:
@@ -103,6 +109,7 @@ class SvdPlan:
     grid: Optional[Tuple[int, int]] = None
     machine: str = "miriel"
     policy: str = "list"
+    network: str = "uniform"
     seed: int = 0
     config: Optional[Config] = None
 
@@ -164,12 +171,19 @@ class SvdPlan:
                 f"unknown machine preset {self.machine!r}; known presets: {sorted(PRESETS)}"
             )
         # Imported lazily: repro.runtime builds on lower layers only.
+        from repro.runtime.network import NETWORK_MODELS
         from repro.runtime.policies import POLICIES
 
         object.__setattr__(self, "policy", str(self.policy).strip().lower())
         if self.policy not in POLICIES:
             raise ValueError(
                 f"unknown scheduling policy {self.policy!r}; available: {sorted(POLICIES)}"
+            )
+        object.__setattr__(self, "network", str(self.network).strip().lower())
+        if self.network not in NETWORK_MODELS:
+            raise ValueError(
+                f"unknown network model {self.network!r}; "
+                f"available: {sorted(NETWORK_MODELS)}"
             )
 
     # ------------------------------------------------------------------ #
@@ -223,5 +237,6 @@ class SvdPlan:
             "grid": f"{self.grid[0]}x{self.grid[1]}" if self.grid else None,
             "machine": self.machine,
             "policy": self.policy,
+            "network": self.network,
             "seed": self.seed,
         }

@@ -49,6 +49,12 @@ class RunResult:
     #: Scheduling policy the simulation engine replayed the program under;
     #: ``None`` for backends that do not schedule (numeric, dag).
     policy: Optional[str] = None
+    #: Network model the simulation engine priced transfers with
+    #: (``uniform`` / ``alpha-beta``); ``None`` for backends that do not
+    #: simulate communication (numeric, dag).
+    network: Optional[str] = None
+    #: Total simulated sending seconds across all nodes (simulate backend).
+    comm_seconds: Optional[float] = None
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     time_seconds: Optional[float] = None
     gflops: Optional[float] = None
@@ -81,8 +87,10 @@ class RunResult:
         }
         if self.policy is not None:
             row["policy"] = self.policy
+        if self.network is not None:
+            row["network"] = self.network
         for key in ("time_seconds", "gflops", "n_tasks", "messages", "comm_bytes",
-                    "critical_path", "max_rel_error"):
+                    "comm_seconds", "critical_path", "max_rel_error"):
             value = getattr(self, key)
             if value is not None:
                 row[key] = value
@@ -104,10 +112,14 @@ class RunResult:
         ]
         if self.policy is not None:
             lines.append(f"policy         : {self.policy}")
+        if self.network is not None:
+            lines.append(f"network        : {self.network}")
         if self.n_tasks is not None:
             lines.append(f"tasks          : {self.n_tasks}")
         if self.messages is not None:
             lines.append(f"messages       : {self.messages}")
+        if self.comm_seconds is not None and self.comm_seconds > 0:
+            lines.append(f"comm time (s)  : {self.comm_seconds:.4f}")
         if self.critical_path is not None:
             lines.append(f"critical path  : {self.critical_path:.0f} (nb^3/3 flop units)")
         if self.time_seconds is not None:

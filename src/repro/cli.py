@@ -11,8 +11,9 @@ without writing any Python:
   with the :mod:`repro.tuning` subsystem and its persistent plan cache;
 * ``critical-path``   — closed-form and DAG-measured critical paths;
 * ``simulate``        — one runtime simulation (GE2BND or GE2VAL) under any
-  scheduling policy (``--policy``);
+  scheduling policy (``--policy``) and network model (``--network``);
 * ``policies``        — list the simulation engine's scheduling policies;
+* ``networks``        — list the simulation engine's network models;
 * ``svd``             — compute singular values of a random or ``.npy`` matrix
   with the numeric tiled pipeline and compare against ``numpy.linalg.svd``.
 
@@ -30,12 +31,14 @@ import numpy as np
 
 from repro.api import BACKENDS, STAGES, VARIANTS
 from repro.config import PRESETS
+from repro.runtime.network import NETWORK_MODELS
 from repro.runtime.policies import POLICIES
 from repro.trees import TREE_REGISTRY
 
 _TREE_CHOICES = sorted(TREE_REGISTRY)
 _VARIANT_CHOICES = list(VARIANTS)
 _POLICY_CHOICES = sorted(POLICIES)
+_NETWORK_CHOICES = sorted(NETWORK_MODELS)
 
 
 def _add_plan_arguments(parser: argparse.ArgumentParser) -> None:
@@ -66,6 +69,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "policies", help="list the simulation engine's scheduling policies"
     )
 
+    sub.add_parser(
+        "networks", help="list the simulation engine's network models"
+    )
+
     run = sub.add_parser("run", help="run a registered experiment")
     run.add_argument("experiment", help="experiment key (see 'repro list')")
     run.add_argument("--csv", help="write the result rows to this CSV file")
@@ -89,6 +96,10 @@ def _build_parser() -> argparse.ArgumentParser:
                       choices=[*BACKENDS, "all"])
     plan.add_argument("--tile-size", type=int, default=None,
                       help="tile size nb (default: config-driven)")
+    plan.add_argument("--policy", default="list", choices=_POLICY_CHOICES,
+                      help="scheduling policy (simulate backend)")
+    plan.add_argument("--network", default="uniform", choices=_NETWORK_CHOICES,
+                      help="communication model (simulate backend)")
     plan.add_argument("--json", help="write the result row(s) to this JSON file")
     _add_plan_arguments(plan)
 
@@ -125,6 +136,8 @@ def _build_parser() -> argparse.ArgumentParser:
                            "~/.cache/repro/plan_cache.json)")
     tune.add_argument("--policy", default="list", choices=_POLICY_CHOICES,
                       help="scheduling policy scoring simulated candidates")
+    tune.add_argument("--network", default="uniform", choices=_NETWORK_CHOICES,
+                      help="communication model scoring simulated candidates")
     tune.add_argument("--json", help="write the evaluation rows to this JSON file")
     tune.add_argument("--n-cores", type=int, default=24,
                       help="cores per node (default: 24, the paper's miriel node)")
@@ -148,6 +161,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--algorithm", default="auto", choices=_VARIANT_CHOICES)
     sim.add_argument("--policy", default="list", choices=_POLICY_CHOICES,
                      help="scheduling policy of the simulation engine")
+    sim.add_argument("--network", default="uniform", choices=_NETWORK_CHOICES,
+                     help="communication model of the simulation engine")
     sim.add_argument("--ge2val", action="store_true", help="include BND2BD + BD2VAL stages")
 
     svd = sub.add_parser("svd", help="singular values via the numeric tiled pipeline")
@@ -177,6 +192,14 @@ def _cmd_policies() -> int:
 
     for name, description in available_policies():
         print(f"{name:14s}  {description}")
+    return 0
+
+
+def _cmd_networks() -> int:
+    from repro.runtime.network import available_networks
+
+    for name, description in available_networks():
+        print(f"{name:12s}  {description}")
     return 0
 
 
@@ -241,6 +264,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             n_cores=args.n_cores,
             n_nodes=args.nodes,
             machine=args.machine,
+            policy=args.policy,
+            network=args.network,
             seed=args.seed,
         )
     except ValueError as exc:
@@ -306,6 +331,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             n_nodes=args.nodes,
             machine=args.machine,
             policy=args.policy,
+            network=args.network,
         )
         space = SearchSpace(
             tile_sizes=_parse_int_list(args.tile_sizes),
@@ -390,6 +416,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             n_cores=args.cores,
             n_nodes=args.nodes,
             policy=args.policy,
+            network=args.network,
         )
         result = execute(plan, backend="simulate")
     except ValueError as exc:
@@ -436,6 +463,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list()
     if args.command == "policies":
         return _cmd_policies()
+    if args.command == "networks":
+        return _cmd_networks()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "plan":

@@ -76,6 +76,14 @@ class MachinePreset:
     network_bandwidth_gbits: float = 40.0
     #: Network latency per message, in microseconds.
     network_latency_us: float = 2.0
+    #: NIC injection rate of one node, in Gbit/s — how fast a node can push
+    #: bytes onto the wire.  ``None`` means the link bandwidth (the QDR HCA
+    #: is not injection-limited).  Used by the alpha-beta network model to
+    #: serialize concurrent sends from the same node.
+    injection_rate_gbits: "float | None" = None
+    #: Per-message send overhead on the sending NIC, in microseconds (the
+    #: ``o`` of LogP-style models: descriptor setup, doorbell, DMA start).
+    injection_overhead_us: float = 0.5
     #: Memory bandwidth of a node in GB/s (used by the memory-bound
     #: competitor models, e.g. ScaLAPACK's BLAS-2 phases).
     memory_bandwidth_gbs: float = 60.0
@@ -89,6 +97,16 @@ class MachinePreset:
     def network_bandwidth_bytes_per_s(self) -> float:
         """Network bandwidth converted to bytes per second."""
         return self.network_bandwidth_gbits * 1e9 / 8.0
+
+    @property
+    def injection_rate_bytes_per_s(self) -> float:
+        """NIC injection rate in bytes per second (defaults to link bandwidth)."""
+        rate = (
+            self.injection_rate_gbits
+            if self.injection_rate_gbits is not None
+            else self.network_bandwidth_gbits
+        )
+        return rate * 1e9 / 8.0
 
 
 #: The cluster node used for all experiments in the paper.

@@ -384,6 +384,41 @@ def policy_sweep(
     return execute_sweep(base.sweep(policy=list(policies)), backend="simulate")
 
 
+def network_sweep(
+    m: int = 4000,
+    n: int = 4000,
+    tile_size: int = 250,
+    n_cores: int = 8,
+    n_nodes: int = 4,
+    trees: Sequence[str] = ("flatts", "greedy"),
+    networks: Sequence[str] = ("uniform", "alpha-beta"),
+) -> List[Row]:
+    """Distributed GE2BND under both network models, flat vs greedy top tree.
+
+    The Section VI-D axis the network subsystem opened: the same compiled
+    program per tree is replayed under the legacy ``uniform`` model and the
+    message-level ``alpha-beta`` model.  Message counts are identical by
+    construction (both deduplicate per producer and destination node — the
+    rows double as a regression check); what changes is the *time* the
+    messages cost, which is where the greedy top tree's extra traffic
+    becomes visible.
+    """
+    from repro.api import SvdPlan, execute_sweep
+
+    if full_scale():
+        m = n = 20000
+        tile_size = 160
+        n_cores = 24
+        n_nodes = 16
+    base = SvdPlan(
+        m=m, n=n, stage="ge2bnd", tile_size=tile_size,
+        n_cores=n_cores, n_nodes=n_nodes,
+    )
+    return execute_sweep(
+        base.sweep(tree=list(trees), network=list(networks)), backend="simulate"
+    )
+
+
 def plan_backend_matrix(
     m: int = 60,
     n: int = 40,

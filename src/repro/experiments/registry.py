@@ -138,6 +138,12 @@ def _experiments() -> List[Experiment]:
             runner=figures.policy_sweep,
         ),
         Experiment(
+            key="network-sweep",
+            paper_ref="Section VI-D (network model)",
+            description="Distributed GE2BND under uniform vs alpha-beta network, flat vs greedy top tree",
+            runner=figures.network_sweep,
+        ),
+        Experiment(
             key="tuning-sweep",
             paper_ref="Section VI-B (autotuning)",
             description="Autotuned (tile size, tree, variant) per matrix shape via repro.tuning",

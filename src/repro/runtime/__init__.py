@@ -1,4 +1,15 @@
-"""PaRSEC-like runtime simulator: machine model, engine, policies, drivers."""
+"""PaRSEC-like runtime simulator: machine model, engine, policies, networks.
+
+The layers compose left to right: a :class:`Machine` prices tile kernels
+and network hardware, a :class:`~repro.runtime.network.NetworkModel`
+prices inter-node messages (``uniform`` legacy flat cost or
+``alpha-beta`` message-level fidelity), a
+:class:`~repro.runtime.policies.SchedulingPolicy` orders the ready queue,
+and the :class:`~repro.runtime.engine.SimulationEngine` replays a compiled
+:class:`~repro.ir.program.Program` through all three.  The drivers in
+:mod:`~repro.runtime.simulator` wrap the stack into the GE2BND / GE2VAL
+results the paper's figures report.
+"""
 
 from repro.runtime.machine import Machine
 from repro.runtime.engine import (
@@ -6,6 +17,14 @@ from repro.runtime.engine import (
     critical_path_seconds,
     run_policy,
     serial_seconds,
+)
+from repro.runtime.network import (
+    NETWORK_MODELS,
+    AlphaBetaNetwork,
+    NetworkModel,
+    UniformNetwork,
+    available_networks,
+    get_network_model,
 )
 from repro.runtime.policies import (
     POLICIES,
@@ -22,15 +41,21 @@ from repro.runtime.simulator import (
 )
 
 __all__ = [
+    "AlphaBetaNetwork",
     "Machine",
     "ListScheduler",
+    "NETWORK_MODELS",
+    "NetworkModel",
     "POLICIES",
     "Schedule",
     "SchedulingPolicy",
     "SimulationEngine",
     "SimulationResult",
+    "UniformNetwork",
+    "available_networks",
     "available_policies",
     "critical_path_seconds",
+    "get_network_model",
     "get_policy",
     "run_policy",
     "serial_seconds",

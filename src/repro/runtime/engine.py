@@ -2,30 +2,38 @@
 
 The :class:`SimulationEngine` replaces the legacy
 :class:`~repro.runtime.scheduler.ListScheduler`'s monolithic loop with an
-engine/policy split:
+engine/policy/network split:
 
 * the **engine** owns the events — per-node core-free heaps (the event
-  queues), dependency release, owner-computes mapping and the one-transfer
-  communication model — and is policy-agnostic;
+  queues), dependency release, owner-computes mapping — and is agnostic of
+  both the scheduling order and the communication cost;
 * the **policy** (:mod:`repro.runtime.policies`) only ranks ops; the
   engine pops ready ops in ``(policy key, op id)`` order, so tie-breaking
   is stable task-id ordering and schedules are bit-reproducible across
-  runs and Python hash seeds.
+  runs and Python hash seeds;
+* the **network model** (:mod:`repro.runtime.network`) prices cross-node
+  transfers: ``uniform`` keeps the legacy flat pre-charge per edge
+  (bit-identical, golden-pinned), ``alpha-beta`` turns each deduplicated
+  (producer, destination node) transfer into a message event with
+  latency + bandwidth cost, serialized injection through the sender's NIC
+  and an optional rendezvous handshake.
 
-With the ``list`` policy the engine reproduces the legacy scheduler's
-makespans exactly (same priorities, same greedy assignment discipline,
-same communication accounting); the other policies open scheduling as an
-experiment axis on the same compiled :class:`~repro.ir.program.Program`.
+With the ``list`` policy and the ``uniform`` network the engine reproduces
+the legacy scheduler's makespans exactly (same priorities, same greedy
+assignment discipline, same communication accounting); the other policies
+and networks open scheduling and communication fidelity as experiment axes
+on the same compiled :class:`~repro.ir.program.Program`.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.dag.task import TaskGraph
 from repro.ir.program import Program
 from repro.runtime.machine import Machine
+from repro.runtime.network import NetworkModel, get_network_model
 from repro.runtime.policies import SchedulingPolicy, get_policy
 from repro.runtime.scheduler import Schedule
 from repro.tiles.distribution import BlockCyclicDistribution, ProcessGrid
@@ -37,13 +45,17 @@ class SimulationEngine:
     Parameters
     ----------
     machine:
-        The machine model (node count, cores, kernel durations, network).
+        The machine model (node count, cores, kernel durations, network
+        hardware parameters).
     distribution:
         Tile-to-node mapping; defaults to a 2D block-cyclic distribution on
         the near-square process grid for the machine's node count.
     policy:
         A :class:`~repro.runtime.policies.SchedulingPolicy` name or
         instance (default ``"list"``, the legacy behaviour).
+    network:
+        A :class:`~repro.runtime.network.NetworkModel` name or instance
+        (default ``"uniform"``, the legacy flat-cost communication model).
     """
 
     def __init__(
@@ -52,9 +64,11 @@ class SimulationEngine:
         distribution: Optional[BlockCyclicDistribution] = None,
         *,
         policy: Union[str, SchedulingPolicy] = "list",
+        network: Union[str, NetworkModel] = "uniform",
     ) -> None:
         self.machine = machine
         self.policy = get_policy(policy)
+        self.network = get_network_model(network)
         if distribution is None:
             distribution = BlockCyclicDistribution(
                 ProcessGrid.for_square_matrix(machine.n_nodes)
@@ -78,12 +92,18 @@ class SimulationEngine:
             program = Program.from_task_graph(program)
         n = len(program)
         machine = self.machine
+        network = self.network
+        n_nodes = machine.n_nodes
         if n == 0:
-            return Schedule(0.0, [], [], [], [0.0] * machine.n_nodes, 0, 0)
+            return Schedule(
+                0.0, [], [], [], [0.0] * n_nodes, 0, 0,
+                comm_time_per_node=[0.0] * n_nodes,
+                messages_per_node=[0] * n_nodes,
+            )
 
         durations = [machine.kernel_duration(op.kernel) for op in program.ops]
         node_of_op = [
-            self.distribution.owner(*op.owner_tile) if machine.n_nodes > 1 else 0
+            self.distribution.owner(*op.owner_tile) if n_nodes > 1 else 0
             for op in program.ops
         ]
         keys = self.policy.rank(program, durations, node_of_op, machine)
@@ -96,23 +116,40 @@ class SimulationEngine:
         ready_time = [0.0] * n
         start = [0.0] * n
         finish = [0.0] * n
-        busy = [0.0] * machine.n_nodes
+        busy = [0.0] * n_nodes
         messages = 0
         comm_bytes = 0
+        sent = [0] * n_nodes
+        comm_time = [0.0] * n_nodes
+        event_driven = network.event_driven
         transfer = machine.transfer_time()
+        # Uniform model: dedup set for message *counting* only (arrival is
+        # charged per edge).  Alpha-beta: the first release of a (producer,
+        # destination node) pair injects a message event; later consumers of
+        # the same pair reuse its arrival time (the runtime caches remote
+        # tiles).  ``nic_free`` serializes each node's injections in
+        # *dispatch order* — the order ops are popped by the greedy loop —
+        # not in finish-time order.  That is the same no-lookahead greedy
+        # discipline the engine applies to cores (an op assigned to a core
+        # can idle it while a later-popped op would have been ready
+        # sooner), kept deliberately so the list policy's dispatch order
+        # stays the legacy one; a time-ordered NIC would need a global
+        # message event queue and would reprice schedules.
         seen_transfers: set[Tuple[int, int]] = set()
+        transfer_arrival: Dict[Tuple[int, int], float] = {}
+        nic_free = [0.0] * n_nodes
 
         # Per-node event state: a heap of core-free events (free time, core
         # index) and a heap of ready ops ordered by (policy key, op id).
         core_of_op = [0] * n
         core_heaps: List[List[Tuple[float, int]]] = [
             [(0.0, c) for c in range(machine.cores_per_node)]
-            for _ in range(machine.n_nodes)
+            for _ in range(n_nodes)
         ]
         for h in core_heaps:
             heapq.heapify(h)
         ready_heaps: List[List[Tuple[object, int]]] = [
-            [] for _ in range(machine.n_nodes)
+            [] for _ in range(n_nodes)
         ]
 
         def push_ready(op_id: int) -> None:
@@ -125,7 +162,7 @@ class SimulationEngine:
         scheduled = 0
         while scheduled < n:
             progressed = False
-            for node in range(machine.n_nodes):
+            for node in range(n_nodes):
                 heap = ready_heaps[node]
                 while heap:
                     _, op_id = heapq.heappop(heap)
@@ -143,14 +180,38 @@ class SimulationEngine:
                     # per (producer, destination node) — the runtime caches
                     # remote tiles.
                     for succ in program.successors(op_id):
+                        dst = node_of_op[succ]
                         arrival = t_finish
-                        if node_of_op[succ] != node:
-                            arrival += transfer
-                            key = (op_id, node_of_op[succ])
-                            if key not in seen_transfers:
-                                seen_transfers.add(key)
-                                messages += 1
-                                comm_bytes += machine.tile_bytes
+                        if dst != node:
+                            key = (op_id, dst)
+                            if event_driven:
+                                cached = transfer_arrival.get(key)
+                                if cached is None:
+                                    op = program.ops[op_id]
+                                    n_bytes = network.message_bytes(op, machine)
+                                    inject_start = max(
+                                        t_finish + network.handshake_seconds(machine),
+                                        nic_free[node],
+                                    )
+                                    injection = machine.injection_seconds(n_bytes)
+                                    nic_free[node] = inject_start + injection
+                                    cached = inject_start + network.message_seconds(
+                                        n_bytes, machine
+                                    )
+                                    transfer_arrival[key] = cached
+                                    messages += 1
+                                    comm_bytes += n_bytes
+                                    sent[node] += 1
+                                    comm_time[node] += injection
+                                arrival = cached
+                            else:
+                                arrival += transfer
+                                if key not in seen_transfers:
+                                    seen_transfers.add(key)
+                                    messages += 1
+                                    comm_bytes += machine.tile_bytes
+                                    sent[node] += 1
+                                    comm_time[node] += transfer
                         if arrival > ready_time[succ]:
                             ready_time[succ] = arrival
                         indegree[succ] -= 1
@@ -168,6 +229,8 @@ class SimulationEngine:
             messages=messages,
             comm_bytes=comm_bytes,
             core_of_task=core_of_op,
+            comm_time_per_node=comm_time,
+            messages_per_node=sent,
         )
 
 
@@ -177,9 +240,12 @@ def run_policy(
     *,
     policy: Union[str, SchedulingPolicy] = "list",
     distribution: Optional[BlockCyclicDistribution] = None,
+    network: Union[str, NetworkModel] = "uniform",
 ) -> Schedule:
     """One-shot convenience wrapper around :class:`SimulationEngine`."""
-    return SimulationEngine(machine, distribution, policy=policy).run(program)
+    return SimulationEngine(
+        machine, distribution, policy=policy, network=network
+    ).run(program)
 
 
 def critical_path_seconds(

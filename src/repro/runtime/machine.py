@@ -118,6 +118,27 @@ class Machine:
         bandwidth = self.preset.network_bandwidth_bytes_per_s
         return self.preset.network_latency_us * 1e-6 + n_bytes / bandwidth
 
+    @property
+    def alpha_seconds(self) -> float:
+        """Per-message network latency (the alpha of the alpha-beta model)."""
+        return self.preset.network_latency_us * 1e-6
+
+    def beta_seconds(self, n_bytes: int) -> float:
+        """Wire time of ``n_bytes`` at the link bandwidth (the beta term)."""
+        return n_bytes / self.preset.network_bandwidth_bytes_per_s
+
+    def injection_seconds(self, n_bytes: int) -> float:
+        """Seconds the sending NIC is occupied pushing one ``n_bytes`` message.
+
+        Per-message overhead plus serialization at the NIC injection rate;
+        concurrent sends from the same node queue behind each other for this
+        long in the alpha-beta model (see :mod:`repro.runtime.network`).
+        """
+        return (
+            self.preset.injection_overhead_us * 1e-6
+            + n_bytes / self.preset.injection_rate_bytes_per_s
+        )
+
     def with_nodes(self, n_nodes: int) -> "Machine":
         """Copy of this machine with a different node count (scaling studies)."""
         return Machine(

@@ -1,12 +1,15 @@
 """Schedule container and the legacy list-scheduler front-end.
 
 The scheduling loop that used to live here has moved into the
-engine/policy split of :mod:`repro.runtime.engine` and
-:mod:`repro.runtime.policies`: the event-driven
-:class:`~repro.runtime.engine.SimulationEngine` owns core events,
-dependency release and the communication model, while a pluggable
-:class:`~repro.runtime.policies.SchedulingPolicy` ranks the ready queue.
-This module keeps the two pieces every call site still needs:
+engine/policy/network split of :mod:`repro.runtime.engine`,
+:mod:`repro.runtime.policies` and :mod:`repro.runtime.network`: the
+event-driven :class:`~repro.runtime.engine.SimulationEngine` owns core
+events and dependency release, a pluggable
+:class:`~repro.runtime.policies.SchedulingPolicy` ranks the ready queue,
+and a :class:`~repro.runtime.network.NetworkModel` prices cross-node
+transfers (legacy ``uniform`` flat cost, or message-level ``alpha-beta``
+with NIC occupancy).  This module keeps the two pieces every call site
+still needs:
 
 * :class:`Schedule` — the result record (makespan, per-task times, node
   mapping, communication statistics);
@@ -18,8 +21,8 @@ This module keeps the two pieces every call site still needs:
 
 The behaviour still mimics the PaRSEC runtime the paper relies on:
 owner-computes task mapping over a 2D block-cyclic distribution, greedy
-priority-driven scheduling, and one tile transfer charged per
-(producer, destination node) pair.
+priority-driven scheduling, and one deduplicated tile transfer per
+(producer, destination node) pair — however the network model prices it.
 """
 
 from __future__ import annotations
@@ -61,6 +64,18 @@ class Schedule:
     #: simulation engine and used by the Gantt-chart / utilization tooling
     #: in :mod:`repro.runtime.trace`.  ``None`` for schedules built by hand.
     core_of_task: Optional[List[int]] = None
+    #: Seconds each node spent sending (NIC injection time under the
+    #: alpha-beta network model; ``sent * transfer_time`` under uniform).
+    #: ``None`` for schedules built by hand.
+    comm_time_per_node: Optional[List[float]] = None
+    #: Deduplicated messages *sent* by each node (indexed by rank); sums to
+    #: ``messages``.  ``None`` for schedules built by hand.
+    messages_per_node: Optional[List[int]] = None
+
+    @property
+    def comm_seconds(self) -> float:
+        """Total sending time across all nodes (0.0 when not tracked)."""
+        return sum(self.comm_time_per_node or ())
 
     @property
     def n_tasks(self) -> int:

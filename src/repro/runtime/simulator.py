@@ -5,8 +5,10 @@ at the requested tile shape into a compiled
 :class:`~repro.ir.program.Program` (through the shared in-process program
 cache, so repeated simulations of the same DAG shape trace it only once),
 replay it on the event-driven :class:`~repro.runtime.engine.SimulationEngine`
-under the requested scheduling policy, and convert the makespan into the
-GFlop/s numbers the paper's figures report (normalising by the
+under the requested scheduling policy and network model (legacy
+``uniform`` flat transfer cost, or message-level ``alpha-beta`` — see
+:mod:`repro.runtime.network`), and convert the makespan into the GFlop/s
+numbers the paper's figures report (normalising by the
 direct-bidiagonalization operation count, as the paper does).  GE2VAL adds
 the single-node BND2BD and BD2VAL stages on top of the simulated GE2BND
 time, reproducing the paper's setup where those two stages are not
@@ -29,6 +31,7 @@ from repro.models.flops import (
 )
 from repro.runtime.machine import Machine
 from repro.runtime.engine import SimulationEngine
+from repro.runtime.network import NetworkModel
 from repro.runtime.policies import SchedulingPolicy
 from repro.runtime.scheduler import Schedule
 from repro.tiles.distribution import BlockCyclicDistribution, ProcessGrid
@@ -59,6 +62,12 @@ class SimulationResult:
     ge2bnd_seconds: float
     post_seconds: float = 0.0
     policy: str = "list"
+    #: Network model the engine priced transfers with (see
+    #: :data:`repro.runtime.network.NETWORK_MODELS`).
+    network: str = "uniform"
+    #: Total sending time across all nodes (NIC injection seconds under the
+    #: alpha-beta model; ``sent * transfer_time`` under uniform).
+    comm_seconds: float = 0.0
 
     def __str__(self) -> str:  # pragma: no cover - human-readable report
         return (
@@ -100,6 +109,10 @@ def _policy_name(policy: Union[str, SchedulingPolicy]) -> str:
     return policy if isinstance(policy, str) else policy.name
 
 
+def _network_name(network: Union[str, NetworkModel]) -> str:
+    return network if isinstance(network, str) else network.name
+
+
 def _default_grid(machine: Machine, p: int, q: int) -> ProcessGrid:
     """The process grid the paper uses: near-square for square matrices,
     ``nodes x 1`` for tall-and-skinny matrices."""
@@ -114,9 +127,12 @@ def simulate_graph(
     distribution: Optional[BlockCyclicDistribution] = None,
     *,
     policy: Union[str, SchedulingPolicy] = "list",
+    network: Union[str, NetworkModel] = "uniform",
 ) -> Schedule:
     """Replay an explicit task graph / program on the simulation engine."""
-    return SimulationEngine(machine, distribution, policy=policy).run(graph)
+    return SimulationEngine(
+        machine, distribution, policy=policy, network=network
+    ).run(graph)
 
 
 def simulate_ge2bnd(
@@ -128,6 +144,7 @@ def simulate_ge2bnd(
     algorithm: str = "bidiag",
     grid: Optional[ProcessGrid] = None,
     policy: Union[str, SchedulingPolicy] = "list",
+    network: Union[str, NetworkModel] = "uniform",
 ) -> SimulationResult:
     """Simulate the GE2BND stage for an ``m x n`` matrix.
 
@@ -149,6 +166,11 @@ def simulate_ge2bnd(
         Scheduling policy replaying the compiled program (name or
         :class:`~repro.runtime.policies.SchedulingPolicy`; default the
         legacy ``"list"`` scheduler).
+    network:
+        Communication model pricing inter-node transfers (name or
+        :class:`~repro.runtime.network.NetworkModel`; default the legacy
+        ``"uniform"`` flat-cost model, ``"alpha-beta"`` for the
+        message-level model of :mod:`repro.runtime.network`).
     """
     if m < n:
         raise ValueError(f"expected m >= n, got {m}x{n}")
@@ -172,7 +194,9 @@ def simulate_ge2bnd(
         algorithm, p, q, tree_obj, n_cores=machine.cores_per_node, grid_rows=grid.rows
     )
 
-    schedule = simulate_graph(program, machine, distribution, policy=policy)
+    schedule = simulate_graph(
+        program, machine, distribution, policy=policy, network=network
+    )
     flops = ge2bnd_reported_flops(m, n)
     time = schedule.makespan
     return SimulationResult(
@@ -190,6 +214,8 @@ def simulate_ge2bnd(
         comm_bytes=schedule.comm_bytes,
         ge2bnd_seconds=time,
         policy=_policy_name(policy),
+        network=_network_name(network),
+        comm_seconds=schedule.comm_seconds,
     )
 
 
@@ -219,6 +245,7 @@ def simulate_ge2val(
     algorithm: str = "auto",
     grid: Optional[ProcessGrid] = None,
     policy: Union[str, SchedulingPolicy] = "list",
+    network: Union[str, NetworkModel] = "uniform",
 ) -> SimulationResult:
     """Simulate the full GE2VAL pipeline (GE2BND + BND2BD + BD2VAL).
 
@@ -232,7 +259,8 @@ def simulate_ge2val(
 
         algorithm = resolve_variant(algorithm, m, n)
     base = simulate_ge2bnd(
-        m, n, machine, tree=tree, algorithm=algorithm, grid=grid, policy=policy
+        m, n, machine, tree=tree, algorithm=algorithm, grid=grid,
+        policy=policy, network=network,
     )
     post = post_processing_seconds(n, machine)
     total = base.time_seconds + post
@@ -253,4 +281,6 @@ def simulate_ge2val(
         ge2bnd_seconds=base.ge2bnd_seconds,
         post_seconds=post,
         policy=base.policy,
+        network=base.network,
+        comm_seconds=base.comm_seconds,
     )

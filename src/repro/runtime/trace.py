@@ -1,10 +1,12 @@
 """Execution-trace tooling: utilization reports and ASCII Gantt charts.
 
-The list scheduler records, for every task, its start/finish time and the
-node / core it ran on.  This module turns that raw schedule into the kind
-of report one would pull out of a PaRSEC trace: per-node utilization,
-idle-time breakdown, and a terminal-friendly Gantt chart that makes the
-pipeline bubbles of the different reduction trees visible at a glance.
+The simulation engine records, for every task, its start/finish time and
+the node / core it ran on (plus per-node message counts and sending time
+under the network models).  This module turns that raw schedule into the
+kind of report one would pull out of a PaRSEC trace: per-node
+utilization, idle-time breakdown, and a terminal-friendly Gantt chart
+that makes the pipeline bubbles of the different reduction trees visible
+at a glance.
 """
 
 from __future__ import annotations

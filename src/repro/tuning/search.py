@@ -412,6 +412,7 @@ def _tune_cache_key(
             "n_nodes": base.n_nodes,
             "n_cores": base.n_cores,
             "policy": base.policy,
+            "network": base.network,
             "auto_gamma": config.auto_gamma,
             "objective": objective.name,
             "strategy": strategy_name,

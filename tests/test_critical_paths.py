@@ -177,6 +177,7 @@ class TestRBidiag:
 
 
 class TestCrossover:
+    @pytest.mark.slow
     def test_crossover_exists_and_grows_with_q(self):
         # Section IV-C: the crossover delta_s exists and oscillates in a
         # narrow band (the paper reports [5, 8] for the widths it plots; at

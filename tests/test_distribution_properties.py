@@ -1,0 +1,105 @@
+"""Hypothesis property tests for :mod:`repro.tiles.distribution`.
+
+Satellite of the network PR: the message-level network model stands on the
+block-cyclic distribution's correctness, so its invariants get adversarial
+coverage —
+
+* **ownership is a partition**: every tile of a ``p x q`` tile matrix is
+  owned by exactly one rank, and the per-rank ``local_tiles`` sets tile
+  the matrix without overlap;
+* **ranks round-trip**: ``rank_of`` and ``position_of`` are inverse
+  bijections over the grid;
+* **balance**: block-cyclic imbalance is at most one tile row and one tile
+  column — every rank holds between ``floor(p/R) * floor(q/C)`` and
+  ``ceil(p/R) * ceil(q/C)`` tiles.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tiles.distribution import BlockCyclicDistribution, ProcessGrid
+
+#: Grid shapes up to 8x8, tile matrices up to 40x40 — small enough to
+#: enumerate exhaustively inside each example, big enough to cover every
+#: ragged p % R / q % C combination.
+grids = st.builds(
+    ProcessGrid,
+    rows=st.integers(min_value=1, max_value=8),
+    cols=st.integers(min_value=1, max_value=8),
+)
+tile_shapes = st.tuples(
+    st.integers(min_value=1, max_value=40), st.integers(min_value=1, max_value=40)
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(grid=grids)
+def test_ranks_round_trip(grid):
+    seen = set()
+    for r in range(grid.rows):
+        for c in range(grid.cols):
+            rank = grid.rank_of(r, c)
+            assert 0 <= rank < grid.size
+            assert grid.position_of(rank) == (r, c)
+            seen.add(rank)
+    assert seen == set(grid.ranks())
+    assert len(seen) == grid.size == grid.rows * grid.cols
+
+
+@settings(max_examples=80, deadline=None)
+@given(grid=grids, shape=tile_shapes)
+def test_ownership_is_a_partition(grid, shape):
+    p, q = shape
+    dist = BlockCyclicDistribution(grid)
+    all_tiles = {(i, j) for i in range(p) for j in range(q)}
+
+    covered = set()
+    for rank in grid.ranks():
+        local = dist.local_tiles(rank, p, q)
+        local_set = set(local)
+        assert len(local) == len(local_set)  # no duplicates within a rank
+        assert not (covered & local_set)  # no overlap across ranks
+        assert len(local) == dist.local_tile_count(rank, p, q)
+        # local_tiles and owner() agree on every tile.
+        for tile in local:
+            assert dist.owner(*tile) == rank
+        covered |= local_set
+    assert covered == all_tiles  # nothing unowned
+
+
+@settings(max_examples=80, deadline=None)
+@given(grid=grids, shape=tile_shapes)
+def test_imbalance_at_most_one_tile_row_and_column(grid, shape):
+    p, q = shape
+    dist = BlockCyclicDistribution(grid)
+    lo = (p // grid.rows) * (q // grid.cols)
+    hi = math.ceil(p / grid.rows) * math.ceil(q / grid.cols)
+    counts = [dist.local_tile_count(rank, p, q) for rank in grid.ranks()]
+    assert sum(counts) == p * q
+    assert all(lo <= c <= hi for c in counts)
+    # Per-dimension statement: every rank's tile rows and columns each
+    # differ by at most one from any other rank's.
+    row_counts = {
+        len(range(gr, p, grid.rows)) for gr in range(grid.rows)
+    }
+    col_counts = {
+        len(range(gc, q, grid.cols)) for gc in range(grid.cols)
+    }
+    assert max(row_counts) - min(row_counts) <= 1
+    assert max(col_counts) - min(col_counts) <= 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(n_nodes=st.integers(min_value=1, max_value=64))
+def test_paper_grids_cover_all_nodes(n_nodes):
+    square = ProcessGrid.for_square_matrix(n_nodes)
+    tall = ProcessGrid.for_tall_skinny_matrix(n_nodes)
+    assert square.size == n_nodes
+    assert tall.size == n_nodes and tall.cols == 1
+    # The square grid is as square as divisibility allows.
+    assert square.rows <= square.cols
+    assert square.rows * square.cols == n_nodes

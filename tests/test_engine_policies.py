@@ -174,6 +174,7 @@ class TestDeterminism:
         )
         return proc.stdout
 
+    @pytest.mark.slow
     def test_makespans_identical_across_hash_seeds(self):
         assert self._run("0") == self._run("31337")
 

@@ -108,6 +108,7 @@ class TestRegistry:
         with pytest.raises(KeyError):
             get_experiment("does-not-exist")
 
+    @pytest.mark.slow
     def test_run_cheap_experiments(self):
         rows = run_experiment("table1")
         assert len(rows) == 3

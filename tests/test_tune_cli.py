@@ -39,10 +39,12 @@ class TestPlanRowSchema:
     def test_simulate_row_schema_is_pinned(self, tmp_path):
         (row,) = self.run_rows(tmp_path, "--backend", "simulate")
         assert set(row) == PLAN_KEYS | {
-            "policy", "time_seconds", "gflops", "n_tasks", "messages",
-            "comm_bytes", "seconds_ge2bnd", "seconds_post",
+            "policy", "network", "time_seconds", "gflops", "n_tasks",
+            "messages", "comm_bytes", "comm_seconds",
+            "seconds_ge2bnd", "seconds_post",
         }
         assert row["policy"] == "list"
+        assert row["network"] == "uniform"
 
     def test_rows_are_resolved_not_requested(self, tmp_path):
         """Rows carry concrete values: resolved nb, tree name, variant."""

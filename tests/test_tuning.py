@@ -106,7 +106,9 @@ class TestSearchSpace:
 # --------------------------------------------------------------------------- #
 class TestObjectives:
     def test_registry_and_lookup(self):
-        assert set(OBJECTIVES) == {"makespan", "gflops", "critical-path", "comm-volume"}
+        assert set(OBJECTIVES) == {
+            "makespan", "gflops", "critical-path", "comm-volume", "comm-time",
+        }
         assert get_objective("MAKESPAN").name == "makespan"
         obj = get_objective("gflops")
         assert get_objective(obj) is obj
