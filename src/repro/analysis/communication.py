@@ -29,6 +29,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.dag.task import TaskGraph
 from repro.ir.program import Program
 from repro.tiles.distribution import BlockCyclicDistribution
@@ -39,8 +41,36 @@ GraphLike = Union[TaskGraph, Program]
 def _owner_tiles(graph: GraphLike) -> List[Tuple[int, int]]:
     """Owner tile of every task/op, indexed by dense id."""
     if isinstance(graph, Program):
-        return [op.owner_tile for op in graph.ops]
+        return list(
+            zip(graph.owner_rows_np.tolist(), graph.owner_cols_np.tolist())
+        )
     return [t.owner_tile for t in graph.tasks]
+
+
+def _cross_edge_pairs(
+    graph: Program, distribution: BlockCyclicDistribution
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deduplicated cross-node transfers of a compiled program, vectorized.
+
+    Returns ``(src op, src node, dst node)`` for every distinct
+    (producer op, destination node) pair — the same dedup rule the
+    per-edge set-based walk applies, computed as whole-array passes over
+    the successor CSR: map every op to its node with one block-cyclic
+    vector op, compare the two sides of every dependency edge, and unique
+    the surviving (producer, destination) keys.
+    """
+    owner = distribution.owner_array(graph.owner_rows_np, graph.owner_cols_np)
+    n = len(graph)
+    src = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(graph.succ_indptr_np)
+    )
+    dst_node = owner[graph.succ_ids_np]
+    src_node = owner[src]
+    cross = src_node != dst_node
+    n_nodes = distribution.grid.size
+    pair = np.unique(src[cross] * n_nodes + dst_node[cross])
+    src_u = pair // n_nodes
+    return src_u, owner[src_u], pair % n_nodes
 
 
 def _successor_lists(graph: GraphLike) -> Iterator[Tuple[int, Sequence[int]]]:
@@ -101,24 +131,31 @@ def communication_volume(
     engine's ``comm_bytes`` only under ``network="uniform"``.
     """
     n_nodes = distribution.grid.size
-    owner = [distribution.owner(*tile) for tile in _owner_tiles(graph)]
-    seen: set[Tuple[int, int]] = set()
-    sent = [0] * n_nodes
-    received = [0] * n_nodes
-    messages = 0
-    for src_id, dsts in _successor_lists(graph):
-        src_node = owner[src_id]
-        for dst_id in dsts:
-            dst_node = owner[dst_id]
-            if dst_node == src_node:
-                continue
-            key = (src_id, dst_node)
-            if key in seen:
-                continue
-            seen.add(key)
-            messages += 1
-            sent[src_node] += 1
-            received[dst_node] += 1
+    if isinstance(graph, Program) and type(distribution) is BlockCyclicDistribution:
+        # Vectorized static count (same dedup rule, whole-array passes).
+        _, src_nodes, dst_nodes = _cross_edge_pairs(graph, distribution)
+        messages = int(src_nodes.size)
+        sent = np.bincount(src_nodes, minlength=n_nodes).tolist()
+        received = np.bincount(dst_nodes, minlength=n_nodes).tolist()
+    else:
+        owner = [distribution.owner(*tile) for tile in _owner_tiles(graph)]
+        seen: set[Tuple[int, int]] = set()
+        sent = [0] * n_nodes
+        received = [0] * n_nodes
+        messages = 0
+        for src_id, dsts in _successor_lists(graph):
+            src_node = owner[src_id]
+            for dst_id in dsts:
+                dst_node = owner[dst_id]
+                if dst_node == src_node:
+                    continue
+                key = (src_id, dst_node)
+                if key in seen:
+                    continue
+                seen.add(key)
+                messages += 1
+                sent[src_node] += 1
+                received[dst_node] += 1
     tile_bytes = tile_size * tile_size * 8
     return CommunicationStats(
         messages=messages,
@@ -135,6 +172,12 @@ def communication_matrix(
 ) -> List[List[int]]:
     """Message counts per (source node, destination node) pair."""
     n_nodes = distribution.grid.size
+    if isinstance(graph, Program) and type(distribution) is BlockCyclicDistribution:
+        _, src_nodes, dst_nodes = _cross_edge_pairs(graph, distribution)
+        flat = np.bincount(
+            src_nodes * n_nodes + dst_nodes, minlength=n_nodes * n_nodes
+        )
+        return flat.reshape(n_nodes, n_nodes).tolist()
     owner = [distribution.owner(*tile) for tile in _owner_tiles(graph)]
     matrix = [[0] * n_nodes for _ in range(n_nodes)]
     seen: set[Tuple[int, int]] = set()

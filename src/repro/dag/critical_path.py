@@ -8,13 +8,13 @@ the quantity analysed in Section IV of the paper.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.dag.task import Task, TaskGraph
 
 
 def critical_path_length(
-    graph: TaskGraph,
+    graph: Union[TaskGraph, "Program"],  # noqa: F821 - forward ref, see below
     weight_fn: Optional[Callable[[Task], float]] = None,
 ) -> float:
     """Length of the critical path of ``graph``.
@@ -22,7 +22,16 @@ def critical_path_length(
     ``weight_fn`` maps a task to its duration; the default uses the Table-I
     weight carried by the task (``nb^3 / 3`` flop units), which is what the
     paper's closed-form critical paths are expressed in.
+
+    Accepts a legacy :class:`~repro.dag.task.TaskGraph` (per-node
+    recursion below) or a compiled :class:`~repro.ir.program.Program`
+    (delegated to its vectorized topological level sweep — bit-identical
+    results, no per-task Python loop).
     """
+    if not isinstance(graph, TaskGraph):
+        # A compiled Program: its critical_path() runs the vectorized
+        # forward level sweep (or the per-op loop for a custom weight_fn).
+        return graph.critical_path(weight_fn=weight_fn)
     if len(graph) == 0:
         return 0.0
     if weight_fn is None:

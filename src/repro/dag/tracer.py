@@ -49,9 +49,9 @@ class TraceExecutor(ProgramRecorder):
     @property
     def graph(self) -> TaskGraph:
         """The task graph of everything recorded so far."""
-        if self._graph_cache is None or self._graph_ops != len(self.ops):
+        if self._graph_cache is None or self._graph_ops != len(self):
             self._graph_cache = self.program().to_task_graph()
-            self._graph_ops = len(self.ops)
+            self._graph_ops = len(self)
         return self._graph_cache
 
 

@@ -22,7 +22,13 @@ scheduling:
   stream.
 """
 
-from repro.ir.program import DependencyAnalyzer, Op, Program
+from repro.ir.program import (
+    DependencyAnalyzer,
+    Op,
+    OpColumns,
+    Program,
+    analyze_coded_stream,
+)
 from repro.ir.recorder import ProgramRecorder
 from repro.ir.compiler import (
     ALGORITHMS,
@@ -40,7 +46,9 @@ __all__ = [
     "ALGORITHMS",
     "DependencyAnalyzer",
     "Op",
+    "OpColumns",
     "Program",
+    "analyze_coded_stream",
     "ProgramCache",
     "ProgramRecorder",
     "clear_program_cache",

@@ -14,6 +14,10 @@ from __future__ import annotations
 
 from repro.algorithms.executor import KernelExecutor
 from repro.ir.program import Program
+from repro.kernels.costs import KERNEL_LIST
+
+#: Executor method name per kernel code (replay dispatch table).
+_METHOD_NAMES = tuple(k.name.lower() for k in KERNEL_LIST)
 
 
 def replay(program: Program, executor: KernelExecutor) -> None:
@@ -30,5 +34,14 @@ def replay(program: Program, executor: KernelExecutor) -> None:
                 f"program was compiled for {p}x{q} tiles but the executor "
                 f"covers only {executor.p}x{executor.q}"
             )
+    cols = program.columns
+    if cols is not None:
+        # Column path: dispatch straight off the packed kernel-code and
+        # params columns — no Op materialization, one bound method per
+        # kernel resolved up front.
+        methods = [getattr(executor, name) for name in _METHOD_NAMES]
+        for code, params in zip(cols.kernels, cols.params):
+            methods[code](*params)
+        return
     for op in program.ops:
         getattr(executor, op.kernel.name.lower())(*op.params)

@@ -2,45 +2,69 @@
 
 :class:`ProgramRecorder` implements the
 :class:`~repro.algorithms.executor.KernelExecutor` interface: instead of
-touching numbers it appends one :class:`~repro.ir.program.Op` per kernel
-call, carrying the kernel's read/write sets (tile halves — the access-set
-conventions the legacy :class:`repro.dag.tracer.TraceExecutor` pioneered).
+touching numbers it appends one row of packed *columns* per kernel call —
+kernel code, tile-index params, integer-coded read/write sets (tile halves,
+the access-set conventions the legacy :class:`repro.dag.tracer.TraceExecutor`
+pioneered), owner tile and step label.  No :class:`~repro.ir.program.Op`
+objects or frozensets are built while recording: a million-op driver run
+costs a million small tuple appends, and the object form materializes
+lazily only if a legacy consumer asks for it.
+
 The dependency edges are *not* inferred here; that is
-:class:`~repro.ir.program.DependencyAnalyzer`'s job when the stream is
-finalized into a :class:`~repro.ir.program.Program`.
+:func:`~repro.ir.program.analyze_coded_stream`'s job (the integer-coded
+fast path of :class:`~repro.ir.program.DependencyAnalyzer`) when the
+stream is finalized into a :class:`~repro.ir.program.Program`.
+
+Data items are coded as dense integers: the upper half of tile ``(i, j)``
+is ``i * q + j`` and the lower half is ``p * q + i * q + j``.  Integer
+items index flat tables in the analyzer instead of hashing tuples, which
+is where most of the compile-time win of the structure-of-arrays path
+comes from.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.algorithms.executor import KernelExecutor
-from repro.dag.task import DataItem
-from repro.ir.program import Op, Program
-from repro.kernels.costs import KernelName, kernel_weight
+from repro.ir.program import Op, OpColumns, Program, analyze_coded_stream
+from repro.kernels.costs import KERNEL_CODES, KernelName
 
-
-def _upper(i: int, j: int) -> DataItem:
-    return ("U", i, j)
-
-
-def _lower(i: int, j: int) -> DataItem:
-    return ("L", i, j)
-
-
-def _whole(i: int, j: int) -> Tuple[DataItem, DataItem]:
-    return (_upper(i, j), _lower(i, j))
+_GEQRT = KERNEL_CODES[KernelName.GEQRT]
+_UNMQR = KERNEL_CODES[KernelName.UNMQR]
+_TSQRT = KERNEL_CODES[KernelName.TSQRT]
+_TSMQR = KERNEL_CODES[KernelName.TSMQR]
+_TTQRT = KERNEL_CODES[KernelName.TTQRT]
+_TTMQR = KERNEL_CODES[KernelName.TTMQR]
+_GELQT = KERNEL_CODES[KernelName.GELQT]
+_UNMLQ = KERNEL_CODES[KernelName.UNMLQ]
+_TSLQT = KERNEL_CODES[KernelName.TSLQT]
+_TSMLQ = KERNEL_CODES[KernelName.TSMLQ]
+_TTLQT = KERNEL_CODES[KernelName.TTLQT]
+_TTMLQ = KERNEL_CODES[KernelName.TTMLQ]
 
 
 class ProgramRecorder(KernelExecutor):
-    """Executor that records the op stream instead of computing."""
+    """Executor that records packed op columns instead of computing.
+
+    Each kernel method appends one ``(kernel code, params, coded reads,
+    coded writes, owner row, owner col, step)`` row; :meth:`program`
+    finalizes the stream (dependency analysis + CSR build) into an
+    immutable :class:`~repro.ir.program.Program`.  The :attr:`ops`
+    property materializes legacy :class:`~repro.ir.program.Op` objects on
+    demand for backward-compatible consumers.
+    """
 
     def __init__(self, p: int, q: int) -> None:
         if p < 1 or q < 1:
             raise ValueError(f"tile shape must be at least 1x1, got {p}x{q}")
         self._p = p
         self._q = q
-        self.ops: List[Op] = []
+        self._pq = p * q
+        #: One row per recorded op (see class docstring for the layout).
+        self._rows: List[Tuple] = []
+        self._ops_cache: Optional[List[Op]] = None
+        self._ops_count = -1
         #: Panel step label (``QR(k)`` / ``LQ(k)``) stamped on recorded ops;
         #: the drivers update it as they go.
         self.current_step: str = ""
@@ -53,137 +77,149 @@ class ProgramRecorder(KernelExecutor):
     def q(self) -> int:
         return self._q
 
-    def program(self, key: Optional[Tuple] = None) -> Program:
-        """Finalize the recorded stream into an immutable :class:`Program`."""
-        return Program.from_ops(self.ops, key=key)
+    def __len__(self) -> int:
+        return len(self._rows)
 
-    # ------------------------------------------------------------------ #
-    # Op recording
-    # ------------------------------------------------------------------ #
-    def _record(
-        self,
-        kernel: KernelName,
-        params: Tuple[int, ...],
-        reads: Iterable[DataItem],
-        writes: Iterable[DataItem],
-        owner_tile: Tuple[int, int],
-    ) -> None:
-        self.ops.append(
-            Op(
-                index=len(self.ops),
-                kernel=kernel,
-                params=params,
-                reads=frozenset(reads),
-                writes=frozenset(writes),
-                weight=kernel_weight(kernel),
-                owner_tile=owner_tile,
-                step=self.current_step,
-            )
+    def columns(self) -> OpColumns:
+        """The stream recorded so far, in structure-of-arrays form."""
+        if self._rows:
+            kernels, params, reads, writes, rows, cols, steps = zip(*self._rows)
+        else:
+            kernels = params = reads = writes = rows = cols = steps = ()
+        return OpColumns(
+            self._q, self._pq, kernels, params, reads, writes, rows, cols,
+            steps,
         )
 
+    @property
+    def ops(self) -> List[Op]:
+        """Legacy view: the stream as :class:`Op` objects (built on demand)."""
+        if self._ops_cache is None or self._ops_count != len(self._rows):
+            cols = self.columns()
+            self._ops_cache = [cols.op(i) for i in range(len(cols))]
+            self._ops_count = len(self._rows)
+        return self._ops_cache
+
+    def program(self, key: Optional[Tuple] = None) -> Program:
+        """Finalize the recorded stream into an immutable :class:`Program`."""
+        cols = self.columns()
+        pred_lists, levels = analyze_coded_stream(
+            cols.reads, cols.writes, 2 * self._pq
+        )
+        return Program.from_columns(cols, pred_lists, key=key, levels=levels)
+
     # ------------------------------------------------------------------ #
-    # QR family
+    # QR family.  Item codes: upper(i, j) = i*q + j, lower(i, j) = pq + i*q + j.
     # ------------------------------------------------------------------ #
     def geqrt(self, i: int, k: int) -> None:
-        self._record(KernelName.GEQRT, (i, k), reads=(), writes=_whole(i, k), owner_tile=(i, k))
+        u = i * self._q + k
+        self._rows.append(
+            (_GEQRT, (i, k), (), (u, self._pq + u), i, k, self.current_step)
+        )
 
     def unmqr(self, i: int, k: int, j: int) -> None:
-        self._record(
-            KernelName.UNMQR,
-            (i, k, j),
-            reads=(_lower(i, k),),
-            writes=_whole(i, j),
-            owner_tile=(i, j),
+        q = self._q
+        pq = self._pq
+        u = i * q + j
+        self._rows.append(
+            (_UNMQR, (i, k, j), (pq + i * q + k,), (u, pq + u), i, j,
+             self.current_step)
         )
 
     def tsqrt(self, piv: int, i: int, k: int) -> None:
-        self._record(
-            KernelName.TSQRT,
-            (piv, i, k),
-            reads=(),
-            writes=(_upper(piv, k),) + _whole(i, k),
-            owner_tile=(i, k),
+        q = self._q
+        pq = self._pq
+        u = i * q + k
+        self._rows.append(
+            (_TSQRT, (piv, i, k), (), (piv * q + k, u, pq + u), i, k,
+             self.current_step)
         )
 
     def tsmqr(self, piv: int, i: int, k: int, j: int) -> None:
-        self._record(
-            KernelName.TSMQR,
-            (piv, i, k, j),
-            reads=_whole(i, k),
-            writes=_whole(piv, j) + _whole(i, j),
-            owner_tile=(i, j),
+        q = self._q
+        pq = self._pq
+        uk = i * q + k
+        up = piv * q + j
+        ui = i * q + j
+        self._rows.append(
+            (_TSMQR, (piv, i, k, j), (uk, pq + uk),
+             (up, pq + up, ui, pq + ui), i, j, self.current_step)
         )
 
     def ttqrt(self, piv: int, i: int, k: int) -> None:
         # The TT reflectors are stored in the *upper* (triangular) part of the
         # killed tile; the lower part still holds the GEQRT reflectors, which
         # is why TTQRT does not conflict with the UNMQR updates of row i.
-        self._record(
-            KernelName.TTQRT,
-            (piv, i, k),
-            reads=(),
-            writes=(_upper(piv, k), _upper(i, k)),
-            owner_tile=(i, k),
+        q = self._q
+        self._rows.append(
+            (_TTQRT, (piv, i, k), (), (piv * q + k, i * q + k), i, k,
+             self.current_step)
         )
 
     def ttmqr(self, piv: int, i: int, k: int, j: int) -> None:
-        self._record(
-            KernelName.TTMQR,
-            (piv, i, k, j),
-            reads=(_upper(i, k),),
-            writes=_whole(piv, j) + _whole(i, j),
-            owner_tile=(i, j),
+        q = self._q
+        pq = self._pq
+        up = piv * q + j
+        ui = i * q + j
+        self._rows.append(
+            (_TTMQR, (piv, i, k, j), (i * q + k,),
+             (up, pq + up, ui, pq + ui), i, j, self.current_step)
         )
 
     # ------------------------------------------------------------------ #
     # LQ family
     # ------------------------------------------------------------------ #
     def gelqt(self, k: int, j: int) -> None:
-        self._record(KernelName.GELQT, (k, j), reads=(), writes=_whole(k, j), owner_tile=(k, j))
+        u = k * self._q + j
+        self._rows.append(
+            (_GELQT, (k, j), (), (u, self._pq + u), k, j, self.current_step)
+        )
 
     def unmlq(self, k: int, j: int, i: int) -> None:
-        self._record(
-            KernelName.UNMLQ,
-            (k, j, i),
-            reads=(_upper(k, j),),
-            writes=_whole(i, j),
-            owner_tile=(i, j),
+        q = self._q
+        pq = self._pq
+        u = i * q + j
+        self._rows.append(
+            (_UNMLQ, (k, j, i), (k * q + j,), (u, pq + u), i, j,
+             self.current_step)
         )
 
     def tslqt(self, piv: int, j: int, k: int) -> None:
-        self._record(
-            KernelName.TSLQT,
-            (piv, j, k),
-            reads=(),
-            writes=(_lower(k, piv),) + _whole(k, j),
-            owner_tile=(k, j),
+        q = self._q
+        pq = self._pq
+        u = k * q + j
+        self._rows.append(
+            (_TSLQT, (piv, j, k), (), (pq + k * q + piv, u, pq + u), k, j,
+             self.current_step)
         )
 
     def tsmlq(self, piv: int, j: int, k: int, i: int) -> None:
-        self._record(
-            KernelName.TSMLQ,
-            (piv, j, k, i),
-            reads=_whole(k, j),
-            writes=_whole(i, piv) + _whole(i, j),
-            owner_tile=(i, j),
+        q = self._q
+        pq = self._pq
+        uk = k * q + j
+        up = i * q + piv
+        ui = i * q + j
+        self._rows.append(
+            (_TSMLQ, (piv, j, k, i), (uk, pq + uk),
+             (up, pq + up, ui, pq + ui), i, j, self.current_step)
         )
 
     def ttlqt(self, piv: int, j: int, k: int) -> None:
         # Mirror of ttqrt: the TT reflectors live in the *lower* part of the
         # killed tile, leaving the GELQT reflectors (upper part) untouched.
-        self._record(
-            KernelName.TTLQT,
-            (piv, j, k),
-            reads=(),
-            writes=(_lower(k, piv), _lower(k, j)),
-            owner_tile=(k, j),
+        q = self._q
+        pq = self._pq
+        self._rows.append(
+            (_TTLQT, (piv, j, k), (), (pq + k * q + piv, pq + k * q + j),
+             k, j, self.current_step)
         )
 
     def ttmlq(self, piv: int, j: int, k: int, i: int) -> None:
-        self._record(
-            KernelName.TTMLQ,
-            (piv, j, k, i),
-            reads=(_lower(k, j),),
-            writes=_whole(i, piv) + _whole(i, j),
-            owner_tile=(i, j),
+        q = self._q
+        pq = self._pq
+        up = i * q + piv
+        ui = i * q + j
+        self._rows.append(
+            (_TTMLQ, (piv, j, k, i), (pq + k * q + j,),
+             (up, pq + up, ui, pq + ui), i, j, self.current_step)
         )

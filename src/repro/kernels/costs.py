@@ -86,6 +86,17 @@ KERNEL_WEIGHTS: Dict[KernelName, int] = {
     KernelName.TTMLQ: 6,
 }
 
+#: Kernels in enum-definition order.  Position in this tuple is the kernel's
+#: dense integer *code*, used by the structure-of-arrays Program columns and
+#: the machine duration tables so hot paths index flat arrays instead of
+#: hashing enum members.  The order is stable across processes and hash
+#: seeds (it is the class-body order of :class:`KernelName`).
+KERNEL_LIST: tuple = tuple(KernelName)
+
+#: Kernel -> dense code (index into :data:`KERNEL_LIST`).
+KERNEL_CODES: Dict[KernelName, int] = {k: i for i, k in enumerate(KERNEL_LIST)}
+
+
 #: Relative efficiency of each kernel compared to a GEMM of the same volume.
 #: TS kernels are close to GEMM speed; TT kernels only reach a fraction of it
 #: (the motivation for the AUTO tree, Section V).  The panel kernels are

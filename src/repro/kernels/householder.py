@@ -45,8 +45,11 @@ def householder_vector(x: np.ndarray) -> Tuple[np.ndarray, float, float]:
         # dlarfg-style guard: squaring entries this small (large) under-
         # (over-)flows, destroying the reflector's orthogonality.  Compute
         # on a power-of-two rescaling (exact) and scale beta back; v and
-        # tau are invariant under scaling of x.
-        s = 2.0 ** -float(np.floor(np.log2(xmax)))
+        # tau are invariant under scaling of x.  The exponent is clamped to
+        # 1023 (the largest finite power of two): for subnormal xmax the
+        # ideal factor 2**1026+ is not representable, and 2**1023 already
+        # lifts any subnormal to at least 2**-51.
+        s = 2.0 ** min(1023.0, -float(np.floor(np.log2(xmax))))
         v, tau, beta = householder_vector(x * s)
         return v, tau, beta / s
     alpha = x[0]

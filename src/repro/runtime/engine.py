@@ -23,20 +23,101 @@ the legacy scheduler's makespans exactly (same priorities, same greedy
 assignment discipline, same communication accounting); the other policies
 and networks open scheduling and communication fidelity as experiment axes
 on the same compiled :class:`~repro.ir.program.Program`.
+
+Structure-of-arrays fast path
+-----------------------------
+
+By default (``fast=True``) the engine prepares every per-op quantity as a
+flat array before entering the event loop:
+
+* the **duration vector** is a 12-entry per-machine kernel-duration table
+  (:meth:`repro.runtime.machine.Machine.kernel_duration_table`) gathered
+  through the program's packed kernel-code column — and memoized per
+  (machine, program), so repeated ``simulate``/``tune`` calls for the same
+  cached program never re-price an op;
+* the **owner vector** is one vectorized block-cyclic computation over the
+  owner-tile coordinate columns (no per-op ``distribution.owner()``
+  calls), memoized per (program, grid) — callers that already know the
+  mapping can also pass ``node_of_op=`` to :meth:`SimulationEngine.run`;
+* the **policy keys** come from the vectorized rank hooks of
+  :mod:`repro.runtime.policies` (topological level sweeps instead of
+  per-node recursion), memoized per (program, machine, grid, policy).
+
+The memo tables are module-level and keyed by weak program references, so
+a tuning sweep whose candidates share a cached program shares the pricing
+and rank work across all of them, and dropping a program from the program
+cache frees its tables.  ``fast=False`` (or ``REPRO_ENGINE_FAST=0``)
+selects the retained legacy object path — per-op pricing and ranking over
+``program.ops`` — which the differential tests and
+``benchmarks/bench_scale.py`` hold bit-identical to the fast path.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple, Union
+import os
+import threading
+import weakref
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.dag.task import TaskGraph
 from repro.ir.program import Program
 from repro.runtime.machine import Machine
-from repro.runtime.network import NetworkModel, get_network_model
+from repro.runtime.network import (
+    NetworkModel,
+    get_network_model,
+    resolved_message_bytes_vector,
+)
 from repro.runtime.policies import SchedulingPolicy, get_policy
 from repro.runtime.scheduler import Schedule
 from repro.tiles.distribution import BlockCyclicDistribution, ProcessGrid
+
+# --------------------------------------------------------------------------- #
+# Per-(program, ...) memo tables.  Weak keys: dropping a Program from the
+# program cache frees its derived tables.  A single lock guards all three —
+# the tuning thread pools hit them concurrently and the values are cheap to
+# (re)build, so contention is negligible.
+# --------------------------------------------------------------------------- #
+_MEMO_LOCK = threading.Lock()
+#: program -> {machine: duration vector (float64, read-only)}
+_DURATION_VECTORS: "weakref.WeakKeyDictionary[Program, Dict]" = (
+    weakref.WeakKeyDictionary()
+)
+#: program -> {(grid rows, grid cols): owner vector (int64, read-only)}
+_OWNER_VECTORS: "weakref.WeakKeyDictionary[Program, Dict]" = (
+    weakref.WeakKeyDictionary()
+)
+#: program -> {(policy token, machine, grid key): policy key list}
+_RANK_KEYS: "weakref.WeakKeyDictionary[Program, Dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _memo_get(table, program: Program, key):
+    with _MEMO_LOCK:
+        per = table.get(program)
+        return None if per is None else per.get(key)
+
+
+def _memo_put(table, program: Program, key, value) -> None:
+    with _MEMO_LOCK:
+        per = table.get(program)
+        if per is None:
+            per = {}
+            table[program] = per
+        per[key] = value
+
+
+def engine_memo_stats() -> Dict[str, int]:
+    """Entry counts of the per-program memo tables (for tests/diagnostics)."""
+    with _MEMO_LOCK:
+        return {
+            "duration_programs": len(_DURATION_VECTORS),
+            "owner_programs": len(_OWNER_VECTORS),
+            "rank_programs": len(_RANK_KEYS),
+        }
 
 
 class SimulationEngine:
@@ -56,6 +137,11 @@ class SimulationEngine:
     network:
         A :class:`~repro.runtime.network.NetworkModel` name or instance
         (default ``"uniform"``, the legacy flat-cost communication model).
+    fast:
+        Select the structure-of-arrays fast path (default; also
+        controllable via the ``REPRO_ENGINE_FAST`` environment variable).
+        ``fast=False`` runs the retained legacy object path; both produce
+        bit-identical schedules under every policy and network.
     """
 
     def __init__(
@@ -65,10 +151,14 @@ class SimulationEngine:
         *,
         policy: Union[str, SchedulingPolicy] = "list",
         network: Union[str, NetworkModel] = "uniform",
+        fast: Optional[bool] = None,
     ) -> None:
         self.machine = machine
         self.policy = get_policy(policy)
         self.network = get_network_model(network)
+        if fast is None:
+            fast = os.environ.get("REPRO_ENGINE_FAST", "1") != "0"
+        self.fast = bool(fast)
         if distribution is None:
             distribution = BlockCyclicDistribution(
                 ProcessGrid.for_square_matrix(machine.n_nodes)
@@ -81,31 +171,365 @@ class SimulationEngine:
         self.distribution = distribution
 
     # ------------------------------------------------------------------ #
-    def run(self, program: Union[Program, TaskGraph]) -> Schedule:
+    # Memoized per-program vectors (shared module-wide across engines)
+    # ------------------------------------------------------------------ #
+    def duration_vector(self, program: Program) -> np.ndarray:
+        """Per-op durations on this machine (float64, read-only, memoized).
+
+        One 12-entry kernel table gather instead of ``len(program)`` dict
+        lookups; identical values to ``machine.kernel_duration(op.kernel)``
+        per op.
+        """
+        machine = self.machine
+        vec = _memo_get(_DURATION_VECTORS, program, machine)
+        if vec is None:
+            vec = machine.kernel_duration_table()[program.kernel_codes_np]
+            vec.setflags(write=False)
+            _memo_put(_DURATION_VECTORS, program, machine, vec)
+        return vec
+
+    def owner_vector(self, program: Program) -> Optional[np.ndarray]:
+        """Owner node of every op (int64, memoized), or ``None`` on one node.
+
+        Uses the vectorized block-cyclic mapping
+        (:meth:`~repro.tiles.distribution.BlockCyclicDistribution.owner_array`)
+        over the program's owner-tile columns; distribution subclasses with
+        a custom ``owner()`` fall back to per-op resolution (uncached).
+        """
+        if self.machine.n_nodes == 1:
+            return None
+        dist = self.distribution
+        if type(dist) is BlockCyclicDistribution:
+            key = (dist.grid.rows, dist.grid.cols)
+            vec = _memo_get(_OWNER_VECTORS, program, key)
+            if vec is None:
+                vec = dist.owner_array(
+                    program.owner_rows_np, program.owner_cols_np
+                )
+                vec.setflags(write=False)
+                _memo_put(_OWNER_VECTORS, program, key, vec)
+            return vec
+        rows = program.owner_rows_np.tolist()
+        cols = program.owner_cols_np.tolist()
+        return np.fromiter(
+            (dist.owner(i, j) for i, j in zip(rows, cols)),
+            dtype=np.int64,
+            count=len(program),
+        )
+
+    def rank_keys(
+        self,
+        program: Program,
+        durations_np: np.ndarray,
+        node_np: Optional[np.ndarray],
+        *,
+        cacheable: bool = True,
+    ) -> List[object]:
+        """Policy keys for every op (memoized per program/machine/grid/policy).
+
+        Uses the policy's vectorized :meth:`~repro.runtime.policies.
+        SchedulingPolicy.rank_array` hook when available, falling back to
+        the legacy :meth:`~repro.runtime.policies.SchedulingPolicy.rank`.
+        Keys are converted to plain Python objects so the ready-heap
+        comparisons stay native-speed.
+        """
+        policy = self.policy
+        token = policy.cache_token
+        key = None
+        # Only the canonical block-cyclic mapping may hit the memo: a
+        # distribution subclass with its own owner() produces different
+        # node vectors for the same grid shape, so its rank keys must not
+        # be cached under (or served from) the (machine, grid) key.
+        if self.machine.n_nodes > 1 and (
+            type(self.distribution) is not BlockCyclicDistribution
+        ):
+            cacheable = False
+        if cacheable and token is not None:
+            grid_key = (
+                (self.distribution.grid.rows, self.distribution.grid.cols)
+                if self.machine.n_nodes > 1
+                else None
+            )
+            key = (token, self.machine, grid_key)
+            cached = _memo_get(_RANK_KEYS, program, key)
+            if cached is not None:
+                return cached
+        keys = policy.rank_array(program, durations_np, node_np, self.machine)
+        if keys is None:
+            node_list = (
+                node_np.tolist() if node_np is not None else [0] * len(program)
+            )
+            keys = policy.rank(
+                program, durations_np.tolist(), node_list, self.machine
+            )
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        if len(keys) != len(program):
+            raise ValueError(
+                f"policy {policy.name!r} ranked {len(keys)} ops, "
+                f"expected {len(program)}"
+            )
+        if key is not None:
+            _memo_put(_RANK_KEYS, program, key, keys)
+        return keys
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        program: Union[Program, TaskGraph],
+        *,
+        node_of_op: Optional[Sequence[int]] = None,
+    ) -> Schedule:
         """Simulate one replay of ``program`` and return the schedule.
 
         Accepts a compiled :class:`~repro.ir.program.Program` (preferred —
         replayable for free) or a legacy :class:`~repro.dag.task.TaskGraph`
-        (wrapped on the fly).
+        (wrapped on the fly).  ``node_of_op`` optionally supplies a
+        precomputed owner-node array (one entry per op), skipping the
+        distribution lookup entirely — useful when a caller already
+        resolved the mapping, e.g. for a custom placement study.
         """
         if isinstance(program, TaskGraph):
             program = Program.from_task_graph(program)
         n = len(program)
-        machine = self.machine
-        network = self.network
-        n_nodes = machine.n_nodes
+        n_nodes = self.machine.n_nodes
+        if node_of_op is not None and len(node_of_op) != n:
+            raise ValueError(
+                f"node_of_op has {len(node_of_op)} entries but the program "
+                f"has {n} ops"
+            )
         if n == 0:
             return Schedule(
                 0.0, [], [], [], [0.0] * n_nodes, 0, 0,
+                core_of_task=[],
                 comm_time_per_node=[0.0] * n_nodes,
                 messages_per_node=[0] * n_nodes,
             )
+        if self.fast:
+            return self._run_fast(program, node_of_op)
+        return self._run_legacy(program, node_of_op)
+
+    # ------------------------------------------------------------------ #
+    # Structure-of-arrays fast path
+    # ------------------------------------------------------------------ #
+    def _run_fast(
+        self, program: Program, node_of_op: Optional[Sequence[int]]
+    ) -> Schedule:
+        machine = self.machine
+        network = self.network
+        n = len(program)
+        n_nodes = machine.n_nodes
+
+        durations_np = self.duration_vector(program)
+        if node_of_op is None:
+            node_np = self.owner_vector(program)
+            cacheable = True
+        else:
+            node_np = np.ascontiguousarray(node_of_op, dtype=np.int64)
+            if n_nodes == 1:
+                node_np = None
+            cacheable = False
+        keys = self.rank_keys(
+            program, durations_np, node_np, cacheable=cacheable
+        )
+
+        durations = durations_np.tolist()
+        indegree = np.diff(program.pred_indptr_np).tolist()
+        succ_indptr, succ_ids = program.succ_csr_lists()
+        # Heap entries are prebuilt (key, op id) tuples: one allocation per
+        # op instead of one per push.
+        entry_of = list(zip(keys, range(n)))
+        ready_time = [0.0] * n
+        start = [0.0] * n
+        finish = [0.0] * n
+        core_of_op = [0] * n
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        cores = machine.cores_per_node
+
+        if n_nodes == 1:
+            # Single node: every edge is local, so the node round-robin and
+            # all transfer accounting vanish; one drain loop empties the
+            # ready heap in exactly the legacy pop order.
+            core_heap = [(0.0, c) for c in range(cores)]  # already a heap
+            ready: List[Tuple[object, int]] = []
+            for op_id in range(n):
+                if indegree[op_id] == 0:
+                    heappush(ready, entry_of[op_id])
+            busy = 0.0
+            scheduled = 0
+            while ready:
+                _, op_id = heappop(ready)
+                core_free, core_idx = heappop(core_heap)
+                rt = ready_time[op_id]
+                t_start = core_free if core_free > rt else rt
+                d = durations[op_id]
+                t_finish = t_start + d
+                start[op_id] = t_start
+                finish[op_id] = t_finish
+                core_of_op[op_id] = core_idx
+                busy += d
+                heappush(core_heap, (t_finish, core_idx))
+                scheduled += 1
+                for k in range(succ_indptr[op_id], succ_indptr[op_id + 1]):
+                    succ = succ_ids[k]
+                    if t_finish > ready_time[succ]:
+                        ready_time[succ] = t_finish
+                    deg = indegree[succ] - 1
+                    indegree[succ] = deg
+                    if deg == 0:
+                        heappush(ready, entry_of[succ])
+            if scheduled < n:  # pragma: no cover - defensive (cycle)
+                raise RuntimeError("engine stalled: the program has a cycle")
+            return Schedule(
+                makespan=max(finish),
+                start=start,
+                finish=finish,
+                node_of_task=[0] * n,
+                busy_time_per_node=[busy],
+                messages=0,
+                comm_bytes=0,
+                core_of_task=core_of_op,
+                comm_time_per_node=[0.0],
+                messages_per_node=[0],
+            )
+
+        # Multi-node: identical discipline to the legacy loop (greedy node
+        # round-robin, dispatch-order NIC serialization — see the legacy
+        # path's comment), with every per-op quantity pre-resolved into a
+        # flat list.
+        node_of = node_np.tolist()
+        busy = [0.0] * n_nodes
+        messages = 0
+        comm_bytes = 0
+        sent = [0] * n_nodes
+        comm_time = [0.0] * n_nodes
+        event_driven = network.event_driven
+        transfer = machine.transfer_time()
+        handshake = network.handshake_seconds(machine)
+        msg_bytes: Optional[List[int]] = None
+        if event_driven:
+            msg_bytes = resolved_message_bytes_vector(
+                network, program, machine
+            ).tolist()
+        # (injection seconds, wire seconds) per distinct payload size — the
+        # recorded streams only produce a handful of distinct sizes.
+        msg_cost_cache: Dict[int, Tuple[float, float]] = {}
+        seen_transfers: set = set()
+        transfer_arrival: Dict[Tuple[int, int], float] = {}
+        nic_free = [0.0] * n_nodes
+
+        core_heaps: List[List[Tuple[float, int]]] = [
+            [(0.0, c) for c in range(cores)] for _ in range(n_nodes)
+        ]
+        ready_heaps: List[List[Tuple[object, int]]] = [
+            [] for _ in range(n_nodes)
+        ]
+        for op_id in range(n):
+            if indegree[op_id] == 0:
+                heappush(ready_heaps[node_of[op_id]], entry_of[op_id])
+
+        scheduled = 0
+        while scheduled < n:
+            progressed = False
+            for node in range(n_nodes):
+                heap = ready_heaps[node]
+                core_heap = core_heaps[node]
+                while heap:
+                    _, op_id = heappop(heap)
+                    core_free, core_idx = heappop(core_heap)
+                    rt = ready_time[op_id]
+                    t_start = core_free if core_free > rt else rt
+                    d = durations[op_id]
+                    t_finish = t_start + d
+                    start[op_id] = t_start
+                    finish[op_id] = t_finish
+                    core_of_op[op_id] = core_idx
+                    busy[node] += d
+                    heappush(core_heap, (t_finish, core_idx))
+                    scheduled += 1
+                    progressed = True
+                    for k in range(succ_indptr[op_id], succ_indptr[op_id + 1]):
+                        succ = succ_ids[k]
+                        dst = node_of[succ]
+                        arrival = t_finish
+                        if dst != node:
+                            tkey = (op_id, dst)
+                            if event_driven:
+                                cached = transfer_arrival.get(tkey)
+                                if cached is None:
+                                    n_bytes = msg_bytes[op_id]
+                                    cost = msg_cost_cache.get(n_bytes)
+                                    if cost is None:
+                                        cost = (
+                                            machine.injection_seconds(n_bytes),
+                                            network.message_seconds(
+                                                n_bytes, machine
+                                            ),
+                                        )
+                                        msg_cost_cache[n_bytes] = cost
+                                    injection, wire = cost
+                                    inject_start = t_finish + handshake
+                                    if nic_free[node] > inject_start:
+                                        inject_start = nic_free[node]
+                                    nic_free[node] = inject_start + injection
+                                    cached = inject_start + wire
+                                    transfer_arrival[tkey] = cached
+                                    messages += 1
+                                    comm_bytes += n_bytes
+                                    sent[node] += 1
+                                    comm_time[node] += injection
+                                arrival = cached
+                            else:
+                                arrival += transfer
+                                if tkey not in seen_transfers:
+                                    seen_transfers.add(tkey)
+                                    messages += 1
+                                    comm_bytes += machine.tile_bytes
+                                    sent[node] += 1
+                                    comm_time[node] += transfer
+                        if arrival > ready_time[succ]:
+                            ready_time[succ] = arrival
+                        deg = indegree[succ] - 1
+                        indegree[succ] = deg
+                        if deg == 0:
+                            heappush(ready_heaps[dst], entry_of[succ])
+            if not progressed:  # pragma: no cover - defensive (cycle)
+                raise RuntimeError("engine stalled: the program has a cycle")
+
+        return Schedule(
+            makespan=max(finish),
+            start=start,
+            finish=finish,
+            node_of_task=node_of,
+            busy_time_per_node=busy,
+            messages=messages,
+            comm_bytes=comm_bytes,
+            core_of_task=core_of_op,
+            comm_time_per_node=comm_time,
+            messages_per_node=sent,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Legacy object path (the pre-SoA engine, retained verbatim as the
+    # differential baseline: per-op pricing/ranking over ``program.ops``)
+    # ------------------------------------------------------------------ #
+    def _run_legacy(
+        self, program: Program, node_of_op: Optional[Sequence[int]]
+    ) -> Schedule:
+        n = len(program)
+        machine = self.machine
+        network = self.network
+        n_nodes = machine.n_nodes
 
         durations = [machine.kernel_duration(op.kernel) for op in program.ops]
-        node_of_op = [
-            self.distribution.owner(*op.owner_tile) if n_nodes > 1 else 0
-            for op in program.ops
-        ]
+        if node_of_op is not None:
+            node_of_op = [int(x) for x in node_of_op]
+        else:
+            node_of_op = [
+                self.distribution.owner(*op.owner_tile) if n_nodes > 1 else 0
+                for op in program.ops
+            ]
         keys = self.policy.rank(program, durations, node_of_op, machine)
         if len(keys) != n:
             raise ValueError(
@@ -241,10 +665,11 @@ def run_policy(
     policy: Union[str, SchedulingPolicy] = "list",
     distribution: Optional[BlockCyclicDistribution] = None,
     network: Union[str, NetworkModel] = "uniform",
+    fast: Optional[bool] = None,
 ) -> Schedule:
     """One-shot convenience wrapper around :class:`SimulationEngine`."""
     return SimulationEngine(
-        machine, distribution, policy=policy, network=network
+        machine, distribution, policy=policy, network=network, fast=fast
     ).run(program)
 
 
@@ -257,8 +682,10 @@ def critical_path_seconds(
     communication)."""
     if isinstance(program, TaskGraph):
         program = Program.from_task_graph(program)
-    return program.critical_path(
-        weight_fn=lambda op: machine.kernel_duration(op.kernel)
+    if len(program) == 0:
+        return 0.0
+    return program.critical_path_np(
+        machine.kernel_duration_table()[program.kernel_codes_np]
     )
 
 
@@ -269,4 +696,7 @@ def serial_seconds(
     """Single-core replay time: the makespan upper bound for any policy."""
     if isinstance(program, TaskGraph):
         program = Program.from_task_graph(program)
-    return sum(machine.kernel_duration(op.kernel) for op in program.ops)
+    # Summed in stream order (not numpy pairwise), bit-identical to the
+    # legacy per-op accumulation.
+    table = machine.kernel_duration_table()
+    return sum(table[program.kernel_codes_np].tolist())

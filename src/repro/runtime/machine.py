@@ -13,10 +13,34 @@ scheduler's job.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional
 
+import numpy as np
+
 from repro.config import MIRIEL, MachinePreset
-from repro.kernels.costs import KernelName, kernel_efficiency, kernel_flops
+from repro.kernels.costs import (
+    KERNEL_LIST,
+    KernelName,
+    kernel_efficiency,
+    kernel_flops,
+)
+
+
+@lru_cache(maxsize=256)
+def _kernel_duration_table(machine: "Machine") -> np.ndarray:
+    """Kernel durations indexed by kernel code, cached per machine.
+
+    ``Machine`` is a frozen (hashable) dataclass, so equal machines share
+    one table; the engine's structure-of-arrays path prices a whole
+    program with a single 12-entry gather instead of one
+    :meth:`Machine.kernel_duration` call per op.
+    """
+    table = np.array(
+        [machine.kernel_duration(k) for k in KERNEL_LIST], dtype=np.float64
+    )
+    table.setflags(write=False)
+    return table
 
 
 @dataclass(frozen=True)
@@ -90,6 +114,16 @@ class Machine:
             kernel, self.tile_size, self.inner_block
         )
         return flops / rate
+
+    def kernel_duration_table(self) -> np.ndarray:
+        """Durations of all kernels, indexed by kernel code (read-only).
+
+        The code order is :data:`repro.kernels.costs.KERNEL_LIST`; the
+        table is cached per (equal) machine, so gathering it through a
+        program's ``kernel_codes_np`` column prices every op without
+        re-evaluating the efficiency model.
+        """
+        return _kernel_duration_table(self)
 
     @property
     def node_peak_gflops(self) -> float:

@@ -35,7 +35,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple, Type, Union
 
-from repro.ir.program import Op
+import numpy as np
+
+from repro.ir.program import Op, Program
 from repro.runtime.machine import Machine
 
 
@@ -64,6 +66,16 @@ class NetworkModel:
         accounting, also used by the static communication analysis).
         """
         return machine.tile_bytes
+
+    def message_bytes_vector(
+        self, program: Program, machine: Machine
+    ) -> np.ndarray:
+        """Per-op message payloads for the engine's structure-of-arrays path.
+
+        Must agree element-wise with :meth:`message_bytes` on every op; the
+        default is the flat full-tile charge.
+        """
+        return np.full(len(program), machine.tile_bytes, dtype=np.int64)
 
     def handshake_seconds(self, machine: Machine) -> float:
         """Pre-injection protocol delay of one message (default: none)."""
@@ -148,6 +160,12 @@ class AlphaBetaNetwork(NetworkModel):
         n_halves = max(1, len(op.writes))
         return machine.tile_bytes * n_halves // 2
 
+    def message_bytes_vector(self, program, machine):
+        # Vector form of message_bytes over the packed written-halves
+        # column (identical integer arithmetic, element for element).
+        n_halves = np.maximum(program.writes_count_np, 1)
+        return machine.tile_bytes * n_halves // 2
+
     def handshake_seconds(self, machine: Machine) -> float:
         """Pre-injection delay of the rendezvous protocol (0 when eager)."""
         return 0.0 if self.eager else 2.0 * machine.alpha_seconds
@@ -171,6 +189,32 @@ class AlphaBetaNetwork(NetworkModel):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"AlphaBetaNetwork(eager={self.eager})"
+
+
+def resolved_message_bytes_vector(
+    network: NetworkModel, program: Program, machine: Machine
+) -> np.ndarray:
+    """Per-op payload vector for the engine fast path, override-safe.
+
+    A network subclass may override only the per-op :meth:`~NetworkModel.
+    message_bytes` hook; in that case the inherited
+    :meth:`~NetworkModel.message_bytes_vector` no longer agrees with it
+    element-wise, and pricing through the vector would silently change
+    schedules.  This resolver checks which hook is defined deepest in the
+    MRO: if ``message_bytes`` is the more specific override, the vector is
+    built from it per op (materializing the ops — correctness over speed);
+    otherwise the vectorized form is authoritative.
+    """
+    mro = type(network).__mro__
+    vec_cls = next(c for c in mro if "message_bytes_vector" in vars(c))
+    per_op_cls = next(c for c in mro if "message_bytes" in vars(c))
+    if mro.index(per_op_cls) < mro.index(vec_cls):
+        return np.fromiter(
+            (network.message_bytes(op, machine) for op in program.ops),
+            dtype=np.int64,
+            count=len(program),
+        )
+    return network.message_bytes_vector(program, machine)
 
 
 #: Name -> network model class.  Instantiate via :func:`get_network_model`.

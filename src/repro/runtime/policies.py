@@ -30,7 +30,9 @@ Available policies (see :data:`POLICIES`):
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence, Tuple, Type, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+
+import numpy as np
 
 from repro.ir.program import Program
 from repro.runtime.machine import Machine
@@ -42,12 +44,30 @@ class SchedulingPolicy:
     Subclasses implement :meth:`rank`; lower keys are scheduled first.
     Keys may be floats or tuples of floats, but every op's key must be
     comparable with every other's.
+
+    Policies may additionally implement :meth:`rank_array`, the vectorized
+    hook the engine's structure-of-arrays fast path calls with numpy
+    inputs; the built-in policies rank through the program's topological
+    level sweeps there, producing bit-identical keys to :meth:`rank`.  A
+    non-``None`` :attr:`cache_token` lets the engine memoize the computed
+    keys per (program, machine, grid) — static rankings only.
     """
 
     #: Registry name (e.g. ``"list"``); also used by the CLI.
     name: str = ""
     #: One-line description for ``repro policies``.
     description: str = ""
+
+    @property
+    def cache_token(self) -> Optional[Tuple]:
+        """Hashable identity for rank-key memoization (``None`` = don't).
+
+        The default is ``None``: a custom policy's ranking may depend on
+        state the engine cannot see, so it is re-ranked on every run
+        unless it opts in by returning a token that captures its full
+        configuration.
+        """
+        return None
 
     def rank(
         self,
@@ -58,6 +78,21 @@ class SchedulingPolicy:
     ) -> List[object]:
         """One sort key per op (ascending = more urgent)."""
         raise NotImplementedError
+
+    def rank_array(
+        self,
+        program: Program,
+        durations: np.ndarray,
+        node_of_op: Optional[np.ndarray],
+        machine: Machine,
+    ) -> Optional[List[object]]:
+        """Vectorized ranking for the engine fast path.
+
+        ``durations`` is the per-op duration vector and ``node_of_op`` the
+        owner-node vector (``None`` on a single node).  Return the key list
+        (or a numpy array), or ``None`` to fall back to :meth:`rank`.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -72,8 +107,15 @@ class ListPolicy(SchedulingPolicy):
         "simulated seconds); reproduces the legacy ListScheduler bit for bit"
     )
 
+    @property
+    def cache_token(self):
+        return ("list",)
+
     def rank(self, program, durations, node_of_op, machine):
         return [-level for level in program.bottom_levels(durations)]
+
+    def rank_array(self, program, durations, node_of_op, machine):
+        return (-program.bottom_levels_np(durations)).tolist()
 
 
 class CriticalPathPolicy(SchedulingPolicy):
@@ -85,9 +127,17 @@ class CriticalPathPolicy(SchedulingPolicy):
         "instead of simulated seconds"
     )
 
+    @property
+    def cache_token(self):
+        return ("critical-path",)
+
     def rank(self, program, durations, node_of_op, machine):
         weights = [float(op.weight) for op in program.ops]
         return [-level for level in program.bottom_levels(weights)]
+
+    def rank_array(self, program, durations, node_of_op, machine):
+        weights = program.weights_np.astype(np.float64)
+        return (-program.bottom_levels_np(weights)).tolist()
 
 
 class LocalityPolicy(SchedulingPolicy):
@@ -106,6 +156,10 @@ class LocalityPolicy(SchedulingPolicy):
         "owner-computes), then by bottom level"
     )
 
+    @property
+    def cache_token(self):
+        return ("locality",)
+
     def rank(self, program, durations, node_of_op, machine):
         levels = program.bottom_levels(durations)
         keys: List[Tuple[float, float]] = []
@@ -117,6 +171,22 @@ class LocalityPolicy(SchedulingPolicy):
             keys.append((float(remote), -levels[i]))
         return keys
 
+    def rank_array(self, program, durations, node_of_op, machine):
+        levels = program.bottom_levels_np(durations)
+        n = len(program)
+        if node_of_op is None:
+            remote = np.zeros(n, dtype=np.float64)
+        else:
+            # Edge-wise remote-producer count: compare owner nodes across
+            # every dependency edge, then segment-sum per consumer.
+            dst = np.repeat(
+                np.arange(n, dtype=np.int64),
+                np.diff(program.pred_indptr_np),
+            )
+            cross = dst[node_of_op[program.pred_ids_np] != node_of_op[dst]]
+            remote = np.bincount(cross, minlength=n).astype(np.float64)
+        return list(zip(remote.tolist(), (-levels).tolist()))
+
 
 class FifoPolicy(SchedulingPolicy):
     """Program order (the drivers' sequentially consistent order)."""
@@ -124,8 +194,15 @@ class FifoPolicy(SchedulingPolicy):
     name = "fifo"
     description = "ops in program order (insertion order is topological)"
 
+    @property
+    def cache_token(self):
+        return ("fifo",)
+
     def rank(self, program, durations, node_of_op, machine):
         return [float(i) for i in range(len(program))]
+
+    def rank_array(self, program, durations, node_of_op, machine):
+        return np.arange(len(program), dtype=np.float64).tolist()
 
 
 class WeightPolicy(SchedulingPolicy):
@@ -134,8 +211,15 @@ class WeightPolicy(SchedulingPolicy):
     name = "weight"
     description = "heaviest kernel duration first, ignoring the DAG below it"
 
+    @property
+    def cache_token(self):
+        return ("weight",)
+
     def rank(self, program, durations, node_of_op, machine):
         return [-d for d in durations]
+
+    def rank_array(self, program, durations, node_of_op, machine):
+        return (-durations).tolist()
 
 
 class RandomPolicy(SchedulingPolicy):
@@ -151,9 +235,18 @@ class RandomPolicy(SchedulingPolicy):
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed
 
+    @property
+    def cache_token(self):
+        return ("random", self.seed)
+
     def rank(self, program, durations, node_of_op, machine):
         rng = random.Random(self.seed)
         return [rng.random() for _ in range(len(program))]
+
+    def rank_array(self, program, durations, node_of_op, machine):
+        # The seeded stream is already O(n) and hash-seed independent; the
+        # fast path just reuses it (and memoizes per seed via cache_token).
+        return self.rank(program, durations, node_of_op, machine)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RandomPolicy(seed={self.seed})"

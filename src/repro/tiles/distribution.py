@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -87,6 +89,28 @@ class BlockCyclicDistribution:
         if i < 0 or j < 0:
             raise IndexError(f"tile indices must be non-negative, got ({i}, {j})")
         return self.grid.rank_of(i % self.grid.rows, j % self.grid.cols)
+
+    def owner_array(
+        self,
+        rows: Union[np.ndarray, Sequence[int]],
+        cols: Union[np.ndarray, Sequence[int]],
+    ) -> np.ndarray:
+        """Vectorized :meth:`owner` over parallel tile-coordinate arrays.
+
+        One modular-arithmetic pass instead of a Python call per tile —
+        this is how the simulation engine's structure-of-arrays path maps
+        a whole program onto nodes at once.  Same values (and the same
+        ``IndexError`` on negative coordinates) as :meth:`owner`.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.int64)
+        cols = np.ascontiguousarray(cols, dtype=np.int64)
+        if rows.shape != cols.shape:
+            raise ValueError(
+                f"rows and cols must align, got {rows.shape} vs {cols.shape}"
+            )
+        if rows.size and (int(rows.min()) < 0 or int(cols.min()) < 0):
+            raise IndexError("tile indices must be non-negative")
+        return (rows % self.grid.rows) * self.grid.cols + (cols % self.grid.cols)
 
     def local_tiles(self, rank: int, p: int, q: int) -> List[Tuple[int, int]]:
         """All tiles of a ``p x q`` tile matrix owned by ``rank``."""

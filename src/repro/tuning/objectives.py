@@ -23,7 +23,14 @@ All the DAG-consuming objectives resolve their op stream through the
 shared in-process program cache (:mod:`repro.ir`): candidates that share a
 DAG shape — same variant, tile grid, tree and core count, e.g. an
 inner-block or policy sweep at fixed ``nb`` — trace it once and replay it
-from then on, instead of re-tracing per candidate.
+from then on, instead of re-tracing per candidate.  Replays additionally
+share the engine's per-program memo tables
+(:mod:`repro.runtime.engine`): the (machine, program) duration vector,
+the (program, grid) owner vector and the (program, machine, grid,
+policy) rank keys are computed once per cached program and reused by
+every candidate — and every tuning worker thread — that shares it, so a
+policy or inner-block sweep pays the array setup once and then only the
+event loop per candidate.
 """
 
 from __future__ import annotations
