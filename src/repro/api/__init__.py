@@ -13,6 +13,8 @@ All backends return a :class:`RunResult`; plan grids for experiment sweeps
 come from :meth:`SvdPlan.sweep` and run through :func:`execute_sweep`.
 """
 
+from typing import TYPE_CHECKING, Any
+
 from repro.api.plan import STAGES, VARIANTS, SvdPlan
 from repro.api.resolver import (
     ResolvedPlan,
@@ -26,8 +28,11 @@ from repro.api.resolver import (
 from repro.api.result import RunResult
 from repro.api.execute import BACKENDS, execute, execute_sweep
 
+if TYPE_CHECKING:
+    from repro.tuning.search import TuningResult
 
-def tune(plan, **kwargs):
+
+def tune(plan: SvdPlan, **kwargs: Any) -> "TuningResult":
     """Autotune ``plan`` — see :func:`repro.tuning.tune`.
 
     Re-exported here (lazily, to keep ``repro.api`` import-light) so the

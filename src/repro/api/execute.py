@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from collections import Counter
-from typing import Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -226,7 +226,12 @@ def execute(
     return fn(resolved)
 
 
-def execute_sweep(plans, backend: str = "simulate", *, config: Optional[Config] = None):
+def execute_sweep(
+    plans: Iterable[Union[SvdPlan, ResolvedPlan]],
+    backend: str = "simulate",
+    *,
+    config: Optional[Config] = None,
+) -> List[Dict[str, object]]:
     """Execute a list of plans (e.g. from :meth:`SvdPlan.sweep`) and return
     the flattened result rows — the surface experiment tables build on."""
     return [execute(plan, backend, config=config).to_row() for plan in plans]

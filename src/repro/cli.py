@@ -14,6 +14,9 @@ without writing any Python:
   scheduling policy (``--policy``) and network model (``--network``);
 * ``policies``        — list the simulation engine's scheduling policies;
 * ``networks``        — list the simulation engine's network models;
+* ``verify``          — statically verify a compiled Program (dataflow
+  oracle) and its engine Schedules (feasibility sanitizer) for one plan,
+  optionally across every policy / network (see :mod:`repro.verify`);
 * ``svd``             — compute singular values of a random or ``.npy`` matrix
   with the numeric tiled pipeline and compare against ``numpy.linalg.svd``.
 
@@ -164,6 +167,35 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--network", default="uniform", choices=_NETWORK_CHOICES,
                      help="communication model of the simulation engine")
     sim.add_argument("--ge2val", action="store_true", help="include BND2BD + BD2VAL stages")
+
+    ver = sub.add_parser(
+        "verify",
+        help="statically verify the compiled Program and engine Schedules "
+             "for one plan (dataflow oracle + feasibility sanitizer)",
+    )
+    ver.add_argument("m", type=int, help="matrix rows")
+    ver.add_argument("n", type=int, help="matrix columns")
+    ver.add_argument("--nodes", type=int, default=1)
+    ver.add_argument("--cores", type=int, default=24)
+    ver.add_argument("--nb", type=int, default=160)
+    ver.add_argument("--tree", default="auto", choices=_TREE_CHOICES)
+    ver.add_argument("--algorithm", default="auto", choices=_VARIANT_CHOICES)
+    ver.add_argument("--machine", default="miriel", choices=sorted(PRESETS),
+                     help="machine preset")
+    ver.add_argument("--policy", default="list", choices=_POLICY_CHOICES,
+                     help="scheduling policy to sanitize (unless --all-policies)")
+    ver.add_argument("--network", default="uniform", choices=_NETWORK_CHOICES,
+                     help="network model to sanitize (unless --all-networks)")
+    ver.add_argument("--all-policies", action="store_true",
+                     help="sanitize schedules under every scheduling policy")
+    ver.add_argument("--all-networks", action="store_true",
+                     help="sanitize schedules under every network model")
+    ver.add_argument("--json", help="write the structured finding report "
+                                    "to this JSON file")
+    ver.add_argument("--inject-defect", default=None,
+                     choices=["drop-edge", "perturb-start", "swap-owner"],
+                     help="inject one synthetic defect before verifying "
+                          "(self-test: the command must exit nonzero)")
 
     svd = sub.add_parser("svd", help="singular values via the numeric tiled pipeline")
     svd.add_argument("--input", help=".npy file holding the matrix (random if omitted)")
@@ -425,6 +457,132 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.api import SvdPlan
+    from repro.api.resolver import resolve
+    from repro.ir.compiler import get_program
+    from repro.ir.program import Program
+    from repro.runtime.engine import SimulationEngine
+    from repro.tiles.distribution import BlockCyclicDistribution
+    from repro.verify import verify_program, verify_schedule
+
+    try:
+        plan = SvdPlan(
+            m=args.m,
+            n=args.n,
+            stage="ge2bnd",
+            variant=args.algorithm,
+            tree=args.tree,
+            tile_size=args.nb,
+            n_cores=args.cores,
+            n_nodes=args.nodes,
+            machine=args.machine,
+            policy=args.policy,
+            network=args.network,
+        )
+        resolved = resolve(plan)
+    except ValueError as exc:
+        return _user_error("verify", exc)
+    program = get_program(
+        resolved.variant,
+        resolved.p,
+        resolved.q,
+        resolved.tree,
+        n_cores=resolved.machine.cores_per_node,
+        grid_rows=resolved.grid.rows,
+    )
+    if args.inject_defect == "drop-edge":
+        # Self-test: remove the last predecessor edge of the last op that
+        # has one — the dataflow oracle must flag the resulting data race.
+        pred_lists = [
+            list(program.predecessors(i)) for i in range(len(program))
+        ]
+        victim = max(
+            (i for i in range(len(program)) if pred_lists[i]), default=None
+        )
+        if victim is None:
+            return _user_error(
+                "verify", ValueError("program has no edges to drop")
+            )
+        pred_lists[victim].pop()
+        program = Program(list(program.ops), pred_lists, key=program.key)
+
+    reports = []
+    prog_report = verify_program(program)
+    prog_report.subject = (
+        f"program[{resolved.variant}, p={resolved.p}, q={resolved.q}, "
+        f"tree={resolved.tree_name}]"
+    )
+    reports.append(prog_report)
+    print(prog_report.summary())
+
+    policies = (
+        _POLICY_CHOICES if args.all_policies else [args.policy]
+    )
+    networks = (
+        _NETWORK_CHOICES if args.all_networks else [args.network]
+    )
+    distribution = BlockCyclicDistribution(resolved.grid)
+    for policy in policies:
+        for network in networks:
+            engine = SimulationEngine(
+                resolved.machine, distribution, policy=policy, network=network
+            )
+            schedule = engine.run(program)
+            if args.inject_defect == "perturb-start":
+                from dataclasses import replace
+
+                mid = len(schedule.start) // 2
+                start = list(schedule.start)
+                start[mid] += 0.5 * (schedule.makespan or 1.0)
+                schedule = replace(schedule, start=start)
+            elif args.inject_defect == "swap-owner":
+                from dataclasses import replace
+
+                mid = len(schedule.node_of_task) // 2
+                nodes = list(schedule.node_of_task)
+                nodes[mid] = (nodes[mid] + 1) % resolved.machine.n_nodes
+                schedule = replace(schedule, node_of_task=nodes)
+            report = verify_schedule(
+                schedule,
+                program,
+                resolved.machine,
+                distribution=distribution,
+                network=network,
+            )
+            report.subject = f"schedule[policy={policy}, network={network}]"
+            reports.append(report)
+            print(report.summary())
+
+    ok = all(r.ok for r in reports)
+    findings = sum(len(r.findings) for r in reports)
+    checks = sum(r.checked for r in reports)
+    print(
+        f"verify: {'PASS' if ok else 'FAIL'} — {findings} finding(s) over "
+        f"{checks} checks in {len(reports)} report(s)"
+    )
+    if args.json:
+        import json
+
+        payload = {
+            "ok": ok,
+            "checks": checks,
+            "reports": [
+                {
+                    "subject": r.subject,
+                    "ok": r.ok,
+                    "checked": r.checked,
+                    "findings": [f.to_row() for f in r.findings],
+                }
+                for r in reports
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote report to {args.json}")
+    return 0 if ok else 1
+
+
 def _cmd_svd(args: argparse.Namespace) -> int:
     from repro.api import SvdPlan, execute
 
@@ -475,6 +633,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_critical_path(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "svd":
         return _cmd_svd(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

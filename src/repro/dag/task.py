@@ -111,7 +111,7 @@ class TaskGraph:
         so insertion order is already topological; this method verifies that
         property (cheap) and returns it.
         """
-        for src, dst in self._edges:
+        for src, dst in sorted(self._edges):
             if src >= dst:
                 raise RuntimeError(
                     f"edge {src} -> {dst} violates insertion-order topology"

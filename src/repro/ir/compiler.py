@@ -225,6 +225,15 @@ class ProgramCache:
             n_cores=n_cores,
             grid_rows=grid_rows,
         )
+        # Opt-in static verification on insertion (REPRO_VERIFY=1): run the
+        # dataflow oracle over the fresh program before anything downstream
+        # can consume it.  Outside the lock — the oracle is O(ops + edges).
+        from repro.verify.hooks import verify_enabled
+
+        if verify_enabled():
+            from repro.verify.hooks import check_program
+
+            check_program(program)
         with self._lock:
             previous = self._programs.pop(key, None)
             if previous is not None:

@@ -43,6 +43,7 @@ from array import array
 from dataclasses import dataclass
 from itertools import chain
 from typing import (
+    Any,
     Callable,
     Dict,
     FrozenSet,
@@ -122,10 +123,10 @@ class DependencyAnalyzer:
             # WAR: wait for every reader since the last write.
             preds.update(self._readers_since_write.get(item, ()))
         # Update the bookkeeping *after* all edges are found.
-        for item in writes:
+        for item in sorted(writes):
             self._last_writer[item] = tid
             self._readers_since_write[item] = []
-        for item in reads - writes:
+        for item in sorted(reads - writes):
             self._readers_since_write.setdefault(item, []).append(tid)
         preds.discard(tid)
         return sorted(preds)
@@ -458,6 +459,7 @@ class Program:
         """The op stream as :class:`Op` objects (materialized lazily)."""
         ops = self._ops
         if ops is None:
+            assert self._cols is not None
             ops = self._cols.to_ops()
             self._ops = ops
         return ops
@@ -468,7 +470,10 @@ class Program:
         return self._cols
 
     def __len__(self) -> int:
-        return len(self._ops) if self._ops is not None else len(self._cols)
+        if self._ops is not None:
+            return len(self._ops)
+        assert self._cols is not None
+        return len(self._cols)
 
     @property
     def n_edges(self) -> int:
@@ -500,7 +505,7 @@ class Program:
     # ------------------------------------------------------------------ #
     # Structure-of-arrays columns (cached, zero-copy where possible)
     # ------------------------------------------------------------------ #
-    def _cached(self, name: str, build: Callable[[], object]):
+    def _cached(self, name: str, build: Callable[[], Any]) -> Any:
         try:
             return self._cache[name]
         except KeyError:
@@ -536,12 +541,18 @@ class Program:
 
         return self._cached("succ_csr_lists", build)
 
-    def _int_column(self, name: str, from_cols, from_ops) -> np.ndarray:
+    def _int_column(
+        self,
+        name: str,
+        from_cols: Callable[[OpColumns], Sequence[int]],
+        from_ops: Callable[[Sequence[Op]], Iterable[int]],
+    ) -> np.ndarray:
         def build() -> np.ndarray:
             n = len(self)
             if self._cols is not None:
                 src = from_cols(self._cols)
             else:
+                assert self._ops is not None
                 src = from_ops(self._ops)
             if isinstance(src, (tuple, list)):
                 out = np.array(src, dtype=np.int64)
@@ -574,6 +585,7 @@ class Program:
             if self._cols is not None:
                 out = _WEIGHT_BY_CODE[self.kernel_codes_np]
             else:
+                assert self._ops is not None
                 out = np.fromiter(
                     (op.weight for op in self._ops),
                     dtype=np.int64,

@@ -306,8 +306,25 @@ class SimulationEngine:
                 messages_per_node=[0] * n_nodes,
             )
         if self.fast:
-            return self._run_fast(program, node_of_op)
-        return self._run_legacy(program, node_of_op)
+            schedule = self._run_fast(program, node_of_op)
+        else:
+            schedule = self._run_legacy(program, node_of_op)
+        # Opt-in static verification on exit (REPRO_VERIFY=1): sanitize the
+        # schedule's feasibility before handing it to the caller.
+        from repro.verify.hooks import verify_enabled
+
+        if verify_enabled():
+            from repro.verify.hooks import check_schedule
+
+            check_schedule(
+                schedule,
+                program,
+                self.machine,
+                distribution=self.distribution,
+                network=self.network,
+                node_of_op=node_of_op,
+            )
+        return schedule
 
     # ------------------------------------------------------------------ #
     # Structure-of-arrays fast path
@@ -415,7 +432,7 @@ class SimulationEngine:
         # (injection seconds, wire seconds) per distinct payload size — the
         # recorded streams only produce a handful of distinct sizes.
         msg_cost_cache: Dict[int, Tuple[float, float]] = {}
-        seen_transfers: set = set()
+        seen_transfers: set[Tuple[int, int]] = set()
         transfer_arrival: Dict[Tuple[int, int], float] = {}
         nic_free = [0.0] * n_nodes
 

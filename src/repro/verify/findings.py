@@ -1,0 +1,146 @@
+"""Structured findings shared by the program verifier and schedule sanitizer.
+
+A verification pass never raises on the first defect: it walks the whole
+artifact and returns a :class:`VerificationReport` holding every
+:class:`Finding`, so a mutated program reports *all* its missing edges and
+the CLI / CI can print one structured table.  Callers that want an
+exception (the ``REPRO_VERIFY=1`` hooks) use
+:meth:`VerificationReport.raise_if_failed`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+# Program (dataflow) finding codes.
+P_ACCESS_SET = "P-ACCESS-SET"
+P_OWNER_TILE = "P-OWNER-TILE"
+P_MISSING_EDGE = "P-MISSING-EDGE"
+P_SPURIOUS_EDGE = "P-SPURIOUS-EDGE"
+P_USE_BEFORE_WRITE = "P-USE-BEFORE-WRITE"
+P_TOPOLOGY = "P-TOPOLOGY"
+P_LEVELS = "P-LEVELS"
+
+# Schedule (sanitizer) finding codes.
+S_SHAPE = "S-SHAPE"
+S_TIME_RANGE = "S-TIME-RANGE"
+S_DURATION = "S-DURATION"
+S_PRECEDENCE = "S-PRECEDENCE"
+S_CORE_OVERLAP = "S-CORE-OVERLAP"
+S_CORE_RANGE = "S-CORE-RANGE"
+S_OWNER = "S-OWNER"
+S_MAKESPAN = "S-MAKESPAN"
+S_COMM_COUNT = "S-COMM-COUNT"
+S_COMM_BYTES = "S-COMM-BYTES"
+S_COMM_TIME = "S-COMM-TIME"
+S_BUSY_TIME = "S-BUSY-TIME"
+S_NIC_OVERLOAD = "S-NIC-OVERLOAD"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect found by a verification pass.
+
+    ``code`` is one of the ``P-*`` (program) / ``S-*`` (schedule) constants
+    of this module; ``op`` and ``other`` are op ids when the finding is
+    about one op or one edge (``-1`` when not applicable).
+    """
+
+    code: str
+    message: str
+    op: int = -1
+    other: int = -1
+
+    def __str__(self) -> str:
+        loc = ""
+        if self.op >= 0:
+            loc = f" [op {self.op}" + (
+                f" <- {self.other}]" if self.other >= 0 else "]"
+            )
+        return f"{self.code}{loc}: {self.message}"
+
+    def to_row(self) -> Dict[str, object]:
+        """Flat dict form for JSON / table output."""
+        return {
+            "code": self.code,
+            "op": self.op,
+            "other": self.other,
+            "message": self.message,
+        }
+
+
+class VerificationError(AssertionError):
+    """Raised by :meth:`VerificationReport.raise_if_failed` on any finding.
+
+    Subclasses :class:`AssertionError`: a failed verification means an
+    internal invariant of the compiled artifact is broken, not that the
+    caller passed bad input.
+    """
+
+    def __init__(self, report: "VerificationReport") -> None:
+        super().__init__(report.summary())
+        self.report = report
+
+
+@dataclass
+class VerificationReport:
+    """All findings of one verification pass over one artifact.
+
+    ``subject`` names what was verified (e.g. ``"program"`` or
+    ``"schedule[policy=list, network=uniform]"``); ``checked`` counts the
+    individual assertions evaluated, so "0 findings" is distinguishable
+    from "0 checks ran".
+    """
+
+    subject: str
+    findings: List[Finding] = field(default_factory=list)
+    checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def add(self, code: str, message: str, op: int = -1, other: int = -1) -> None:
+        self.findings.append(Finding(code, message, op=op, other=other))
+
+    def count(self, code: str) -> int:
+        """Number of findings with the given code."""
+        return sum(1 for f in self.findings if f.code == code)
+
+    def codes(self) -> Dict[str, int]:
+        """Histogram of finding codes (sorted by code for stable output)."""
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.code] = counts.get(f.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def extend(self, other: "VerificationReport") -> None:
+        """Fold another report's findings and check count into this one."""
+        self.findings.extend(other.findings)
+        self.checked += other.checked
+
+    def summary(self, limit: Optional[int] = 10) -> str:
+        """Human-readable multi-line summary (first ``limit`` findings)."""
+        head = (
+            f"{self.subject}: "
+            + ("OK" if self.ok else f"{len(self.findings)} finding(s)")
+            + f" ({self.checked} checks)"
+        )
+        if self.ok:
+            return head
+        lines = [head]
+        shown = self.findings if limit is None else self.findings[:limit]
+        lines.extend(f"  {f}" for f in shown)
+        if limit is not None and len(self.findings) > limit:
+            lines.append(f"  ... and {len(self.findings) - limit} more")
+        return "\n".join(lines)
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Finding rows for JSON output, each stamped with the subject."""
+        return [{"subject": self.subject, **f.to_row()} for f in self.findings]
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`VerificationError` if any finding was recorded."""
+        if not self.ok:
+            raise VerificationError(self)

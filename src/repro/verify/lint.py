@@ -1,0 +1,455 @@
+"""AST-based determinism lint for the simulator's deterministic core.
+
+The repository promises bit-reproducible schedules across runs and Python
+hash seeds; the subprocess golden-pin tests catch violations *dynamically*
+(and only on the shapes they run).  This lint forbids the offending
+constructs *statically*:
+
+``DTM001`` — iteration over a ``set`` / ``frozenset`` in the deterministic
+    core (``ir/``, ``runtime/``, ``dag/``).  Set iteration order depends on
+    the process hash seed for ``str``-keyed items, so any set-ordered loop
+    there can leak hash randomness into op numbering, ready-queue
+    tie-breaks and ultimately makespans.  Iterate ``sorted(the_set)``
+    instead, or mark a provably order-insensitive loop with
+    ``# dtm: allow``.  (Plain ``dict`` iteration is *not* flagged:
+    dictionaries preserve insertion order, which is deterministic whenever
+    the insertions are.)
+
+``DTM002`` — ``id()``-based ordering anywhere in the scanned tree: ``id()``
+    used inside ``sorted`` / ``min`` / ``max`` calls, as a ``key=``
+    function, or in an ordering comparison.  CPython object addresses vary
+    run to run, so such orderings are never reproducible.
+
+``DTM003`` — wall-clock reads (``time.time``, ``time.monotonic``,
+    ``time.perf_counter``, ``datetime.now`` …) inside the engine paths
+    (``runtime/``).  Simulated time must come from the machine model only;
+    wall-clock reads belong to benchmarks and CLI layers.
+
+Scope rules are path-based: ``DTM001`` and ``DTM003`` apply only inside
+the deterministic-core package paths above; ``DTM002`` applies to every
+scanned file.  A finding on a line containing ``# dtm: allow`` is
+suppressed.
+
+Run as ``python -m repro.verify.lint src/`` (also wired into CI); exits 1
+if any finding is reported.  Set-ness of a name is inferred from literal
+/ constructor / comprehension assignments, ``set`` annotations (including
+parameters and ``self`` attributes), and set-algebra expressions — a
+deliberately simple, local inference that has no false positives on
+``sorted(...)``-wrapped iteration.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Annotation / constructor names that denote an unordered hash container.
+_SET_TYPE_NAMES = {
+    "set",
+    "frozenset",
+    "Set",
+    "FrozenSet",
+    "MutableSet",
+    "AbstractSet",
+}
+
+#: (module, attr) pairs that read the wall clock.
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("time", "process_time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+}
+
+#: Set methods that return another set.
+_SET_RETURNING_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+
+#: Directory names (package path components) forming the deterministic core.
+CORE_DIRS = ("ir", "runtime", "dag")
+#: Directory names forming the engine paths (wall-clock ban).
+ENGINE_DIRS = ("runtime",)
+
+SUPPRESS_MARK = "dtm: allow"
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One determinism-lint finding."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _annotation_is_set(node: Optional[ast.expr]) -> bool:
+    """True if an annotation expression names an unordered set type.
+
+    Looks through ``Optional``/``Union`` wrappers and subscripts by walking
+    the whole annotation tree for a set-type name in *type position* (the
+    value of a subscript or a bare name), which is precise enough for this
+    codebase's annotations.
+    """
+    if node is None:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in _SET_TYPE_NAMES:
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr in _SET_TYPE_NAMES:
+            return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            # String annotation: parse and recurse.
+            try:
+                parsed = ast.parse(sub.value, mode="eval")
+            except SyntaxError:
+                continue
+            if _annotation_is_set(parsed.body):
+                return True
+    return False
+
+
+class _Scope:
+    """One lexical scope's set-typed local names."""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        source_lines: Sequence[str],
+        *,
+        check_set_iter: bool,
+        check_wall_clock: bool,
+    ) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.check_set_iter = check_set_iter
+        self.check_wall_clock = check_wall_clock
+        self.findings: List[LintFinding] = []
+        self.scopes: List[_Scope] = [_Scope()]
+        #: ``self.<attr>`` names with set types in the enclosing class.
+        self.class_set_attrs: List[Set[str]] = []
+        #: local alias -> (module, attr) for ``from time import time`` style.
+        self.clock_aliases: Dict[str, Tuple[str, str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def _suppressed(self, line: int) -> bool:
+        if 1 <= line <= len(self.lines):
+            return SUPPRESS_MARK in self.lines[line - 1]
+        return False
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if self._suppressed(line):
+            return
+        self.findings.append(
+            LintFinding(self.path, line, getattr(node, "col_offset", 0), code, message)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Set-ness inference
+    # ------------------------------------------------------------------ #
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_RETURNING_METHODS
+                and self._is_set_expr(func.value)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return any(node.id in s.set_names for s in reversed(self.scopes))
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.class_set_attrs
+        ):
+            return node.attr in self.class_set_attrs[-1]
+        if isinstance(node, ast.IfExp):
+            return self._is_set_expr(node.body) or self._is_set_expr(node.orelse)
+        return False
+
+    def _collect_locals(self, body: Iterable[ast.stmt], scope: _Scope) -> None:
+        """Pre-scan a function body for set-typed local assignments."""
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.AnnAssign):
+                    if isinstance(node.target, ast.Name) and _annotation_is_set(
+                        node.annotation
+                    ):
+                        scope.set_names.add(node.target.id)
+                elif isinstance(node, ast.Assign):
+                    if self._is_set_expr(node.value):
+                        for target in node.targets:
+                            if isinstance(target, ast.Name):
+                                scope.set_names.add(target.id)
+
+    # ------------------------------------------------------------------ #
+    # Scope handling
+    # ------------------------------------------------------------------ #
+    def _visit_function(self, node) -> None:
+        scope = _Scope()
+        args = node.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            if _annotation_is_set(arg.annotation):
+                scope.set_names.add(arg.arg)
+        self.scopes.append(scope)
+        self._collect_locals(node.body, scope)
+        self.generic_visit(node)
+        self.scopes.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        attrs: Set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.AnnAssign):
+                target = sub.target
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and _annotation_is_set(sub.annotation)
+                ):
+                    attrs.add(target.attr)
+            elif isinstance(sub, ast.Assign) and self._is_set_expr(sub.value):
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attrs.add(target.attr)
+        self.class_set_attrs.append(attrs)
+        self.generic_visit(node)
+        self.class_set_attrs.pop()
+
+    # ------------------------------------------------------------------ #
+    # Imports (for wall-clock aliases)
+    # ------------------------------------------------------------------ #
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module in ("time", "datetime"):
+            for alias in node.names:
+                key = (node.module, alias.name)
+                if key in _WALL_CLOCK:
+                    self.clock_aliases[alias.asname or alias.name] = key
+                if node.module == "datetime" and alias.name == "datetime":
+                    # ``from datetime import datetime`` -> datetime.now()
+                    self.clock_aliases[alias.asname or alias.name] = (
+                        "datetime",
+                        "",
+                    )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ #
+    # DTM001: set iteration
+    # ------------------------------------------------------------------ #
+    def _check_iteration(self, iter_node: ast.expr) -> None:
+        if self.check_set_iter and self._is_set_expr(iter_node):
+            self._report(
+                iter_node,
+                "DTM001",
+                "iteration over an unsorted set in the deterministic core; "
+                "iterate sorted(...) or mark '# dtm: allow' if provably "
+                "order-insensitive",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            self._check_iteration(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # ------------------------------------------------------------------ #
+    # DTM002 (id ordering) + DTM003 (wall clock)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _contains_id_call(node: ast.AST) -> bool:
+        return any(
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Name)
+            and sub.func.id == "id"
+            for sub in ast.walk(node)
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # DTM002: id() inside an ordering construct.
+        if isinstance(func, ast.Name) and func.id in ("sorted", "min", "max"):
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if self._contains_id_call(arg) or (
+                    isinstance(arg, ast.Name) and arg.id == "id"
+                ):
+                    self._report(
+                        node,
+                        "DTM002",
+                        f"id()-based ordering in {func.id}(): object "
+                        "addresses vary between runs",
+                    )
+                    break
+        # DTM003: wall-clock reads in the engine paths.
+        if self.check_wall_clock:
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
+            ):
+                base, attr = func.value.id, func.attr
+                if (base, attr) in _WALL_CLOCK or (
+                    self.clock_aliases.get(base) == ("datetime", "")
+                    and attr in ("now", "utcnow", "today")
+                ):
+                    self._report(
+                        node,
+                        "DTM003",
+                        f"wall-clock call {base}.{attr}() inside the engine; "
+                        "simulated time must come from the machine model",
+                    )
+            elif isinstance(func, ast.Name) and func.id in self.clock_aliases:
+                mod, attr = self.clock_aliases[func.id]
+                if attr:
+                    self._report(
+                        node,
+                        "DTM003",
+                        f"wall-clock call {func.id}() (= {mod}.{attr}) inside "
+                        "the engine; simulated time must come from the "
+                        "machine model",
+                    )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        # DTM002: id() used in an ordering comparison.
+        if any(
+            isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+            for op in node.ops
+        ):
+            operands = [node.left] + list(node.comparators)
+            if any(self._contains_id_call(operand) for operand in operands):
+                self._report(
+                    node,
+                    "DTM002",
+                    "id()-based ordering comparison: object addresses vary "
+                    "between runs",
+                )
+        self.generic_visit(node)
+
+
+def _path_in_dirs(path: str, dirs: Tuple[str, ...]) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return any(d in parts for d in dirs)
+
+
+def lint_source(path: str, source: str) -> List[LintFinding]:
+    """Lint one file's source text; returns its findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                path,
+                exc.lineno or 1,
+                exc.offset or 0,
+                "DTM000",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    linter = _Linter(
+        path,
+        source.splitlines(),
+        check_set_iter=_path_in_dirs(path, CORE_DIRS),
+        check_wall_clock=_path_in_dirs(path, ENGINE_DIRS),
+    )
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_paths(paths: Sequence[str]) -> List[LintFinding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    import os
+
+    files: List[str] = []
+    for root in paths:
+        if os.path.isfile(root):
+            files.append(root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    files.append(os.path.join(dirpath, name))
+    findings: List[LintFinding] = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            findings.extend(lint_source(path, fh.read()))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``python -m repro.verify.lint <paths...>``."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: python -m repro.verify.lint <file-or-dir> ...")
+        return 2
+    findings = lint_paths(args)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"{len(findings)} determinism finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
