@@ -1,0 +1,153 @@
+"""Observability overhead: traced vs untraced engine replay.
+
+The tracing design records *nothing inside the engine's event loop* —
+every task/transfer event is reconstructed after the loop from state the
+loop already computes — so turning a tracer on must cost only the
+post-loop bookkeeping, and leaving it off must cost one thread-local
+read.  This benchmark pins that claim:
+
+* ``off``    — plain replay of a warmed cached Program (the disabled
+  path: ``current_tracer()`` returns ``None``);
+* ``on``     — the same replay with an active :class:`~repro.obs.Tracer`
+  (phase spans + engine-run record + transfer reconstruction);
+* ``export`` — rendering the recorded trace to Chrome trace-event JSON
+  (informational: export happens once, outside any replay loop).
+
+Writes ``BENCH_obs.json`` at the repo root and asserts the acceptance
+bar: traced replay stays within 5% of untraced wall-clock (median over
+batches; override the bound with ``REPRO_BENCH_OBS_OVERHEAD`` for noisy
+CI runners).  Scaled-down by default; ``REPRO_FULL_SCALE=1`` uses the
+paper's problem size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.api.resolver import default_grid  # noqa: E402
+from repro.experiments.figures import full_scale  # noqa: E402
+from repro.ir import get_program  # noqa: E402
+from repro.obs import Tracer, validate_chrome_trace  # noqa: E402
+from repro.runtime.engine import SimulationEngine  # noqa: E402
+from repro.runtime.machine import Machine  # noqa: E402
+from repro.tiles.distribution import BlockCyclicDistribution  # noqa: E402
+from repro.tiles.layout import ceil_div  # noqa: E402
+from repro.trees import make_tree  # noqa: E402
+
+ARTIFACT = os.path.join(_ROOT, "BENCH_obs.json")
+
+M = N = 20000 if full_scale() else 1600
+NB = 160 if full_scale() else 100
+#: Multi-node + alpha-beta: the tracer's worst case (per-message
+#: transfer reconstruction on top of the task events).
+N_NODES, CORES = 4, 6
+BATCHES = 7
+REPS = 3 if full_scale() else 10
+
+
+def _setup():
+    machine = Machine(n_nodes=N_NODES, cores_per_node=CORES, tile_size=NB)
+    p, q = ceil_div(M, NB), ceil_div(N, NB)
+    grid = default_grid(N_NODES, p, q)
+    tree = make_tree("auto", n_cores=CORES)
+    program = get_program(
+        "bidiag", p, q, tree, n_cores=CORES, grid_rows=grid.rows
+    )
+    engine = SimulationEngine(
+        machine, BlockCyclicDistribution(grid), network="alpha-beta"
+    )
+    return engine, program
+
+
+def _batch_seconds(engine, program, tracer):
+    """Best wall-clock of BATCHES batches of REPS replays (median kept too)."""
+    times = []
+    for _ in range(BATCHES):
+        t0 = time.perf_counter()
+        for _rep in range(REPS):
+            if tracer is None:
+                schedule = engine.run(program)
+            else:
+                with tracer.activate():
+                    schedule = engine.run(program)
+        times.append(time.perf_counter() - t0)
+    return min(times), statistics.median(times), schedule
+
+
+def main() -> int:
+    bound_pct = float(os.environ.get("REPRO_BENCH_OBS_OVERHEAD", "5.0"))
+    engine, program = _setup()
+    engine.run(program)  # warm program + memo tables out of the measurement
+
+    off_best, off_median, plain = _batch_seconds(engine, program, None)
+    tracer = Tracer()
+    on_best, on_median, traced = _batch_seconds(engine, program, tracer)
+
+    assert traced.makespan == plain.makespan, "tracing perturbed the schedule"
+    assert traced.start == plain.start, "tracing perturbed the schedule"
+    assert len(tracer.runs) == BATCHES * REPS
+
+    t0 = time.perf_counter()
+    payload = tracer.to_chrome_trace()
+    export_seconds = time.perf_counter() - t0
+    assert validate_chrome_trace(payload) == []
+
+    overhead_pct = (on_best / off_best - 1.0) * 100.0
+    per_replay_us = (on_best - off_best) / (BATCHES * REPS) * 1e6
+
+    title = (
+        f"Tracing overhead, m=n={M}, nb={NB}, "
+        f"{N_NODES}x{CORES} cores, alpha-beta, {len(program)} tasks"
+    )
+    print(f"\n{'=' * len(title)}\n{title}\n{'=' * len(title)}")
+    print(f"off (best of {BATCHES}x{REPS} replays) : {off_best:.4f}s")
+    print(f"on  (best of {BATCHES}x{REPS} replays) : {on_best:.4f}s")
+    print(f"overhead                   : {overhead_pct:+.2f}%  "
+          f"({per_replay_us:+.0f}us per replay)")
+    print(f"export ({len(payload['traceEvents'])} events)      : "
+          f"{export_seconds:.4f}s (one-off, outside replay)")
+
+    trajectory = {
+        "problem": {
+            "m": M, "n": N, "nb": NB,
+            "n_nodes": N_NODES, "cores_per_node": CORES,
+            "network": "alpha-beta", "tasks": len(program),
+        },
+        "protocol": {
+            "batches": BATCHES, "reps_per_batch": REPS,
+            "statistic": "best-of-batches",
+        },
+        "rows": [
+            {"mode": "off", "best_seconds": off_best,
+             "median_seconds": off_median},
+            {"mode": "on", "best_seconds": on_best,
+             "median_seconds": on_median},
+            {"mode": "export", "best_seconds": export_seconds,
+             "events": len(payload["traceEvents"])},
+        ],
+        "overhead_pct": overhead_pct,
+        "overhead_us_per_replay": per_replay_us,
+        "bound_pct": bound_pct,
+        "schedules_identical": True,
+    }
+    with open(ARTIFACT, "w", encoding="utf-8") as fh:
+        json.dump(trajectory, fh, indent=2)
+    print(f"wrote {ARTIFACT}")
+
+    assert overhead_pct < bound_pct, (
+        f"tracing overhead {overhead_pct:.2f}% exceeds the {bound_pct:.1f}% bound"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 import time
 from collections import Counter
-from typing import Dict, Iterable, List, Optional, Union
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -33,6 +34,11 @@ from repro.api.plan import SvdPlan
 from repro.api.resolver import ResolvedPlan, resolve
 from repro.api.result import RunResult
 from repro.config import Config
+from repro.obs.metrics import REGISTRY
+from repro.obs.profile import profiled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 #: Names accepted by :func:`execute`.
 BACKENDS = ("numeric", "dag", "simulate")
@@ -193,6 +199,15 @@ def _execute_simulate(resolved: ResolvedPlan) -> RunResult:
     result.stage_seconds["ge2bnd"] = sim.ge2bnd_seconds
     if resolved.stage == "ge2val":
         result.stage_seconds["post"] = sim.post_seconds
+    if sim.schedule is not None:
+        from repro.obs.metrics import run_metrics
+        from repro.obs.tracer import current_tracer
+
+        # The cache-delta slot is filled by execute()'s registry bracket,
+        # which also covers plan resolution and program compilation.
+        result.metrics = run_metrics(
+            sim.schedule, resolved.machine, tracer=current_tracer()
+        )
     return result
 
 
@@ -203,17 +218,48 @@ _BACKEND_FNS = {
 }
 
 
+def _resolve_tracer(
+    trace: Union[bool, "Tracer", None], plan: SvdPlan
+) -> Optional["Tracer"]:
+    """Resolve the effective tracer for one ``execute`` call.
+
+    Precedence: an explicit ``trace`` argument (``False`` forces tracing
+    off, ``True`` makes a fresh tracer, a :class:`~repro.obs.tracer.Tracer`
+    instance is used as-is and accumulates across calls) beats the plan's
+    ``trace`` flag, which beats the ``REPRO_TRACE`` environment gate.
+    """
+    from repro.obs.tracer import Tracer, trace_enabled
+
+    if trace is None:
+        trace = bool(plan.trace) or trace_enabled()
+    if trace is False:
+        return None
+    if trace is True:
+        return Tracer()
+    return trace
+
+
 def execute(
     plan: Union[SvdPlan, ResolvedPlan],
     backend: str = "numeric",
     *,
     config: Optional[Config] = None,
+    trace: Union[bool, "Tracer", None] = None,
 ) -> RunResult:
     """Run one plan through one backend and return a :class:`RunResult`.
 
     Accepts either a declarative :class:`SvdPlan` (resolved here) or an
     already-:class:`ResolvedPlan` (useful to amortize resolution across
     backends of the same plan).
+
+    ``trace`` opts into execution tracing (see :mod:`repro.obs`): ``True``
+    records into a fresh :class:`~repro.obs.tracer.Tracer`, an explicit
+    tracer instance accumulates multiple runs, ``False`` forces tracing
+    off, and ``None`` (default) defers to ``plan.trace`` and then the
+    ``REPRO_TRACE`` environment variable.  The tracer, when active, is
+    attached to ``RunResult.trace``; every call also attaches the per-run
+    cache counters (and, for the simulate backend, utilization and
+    communication statistics) to ``RunResult.metrics``.
     """
     name = backend.strip().lower()
     try:
@@ -222,8 +268,22 @@ def execute(
         raise ValueError(
             f"unknown backend {backend!r}; choose from {BACKENDS}"
         ) from None
-    resolved = plan if isinstance(plan, ResolvedPlan) else resolve(plan, config=config)
-    return fn(resolved)
+    source_plan = plan.plan if isinstance(plan, ResolvedPlan) else plan
+    tracer = _resolve_tracer(trace, source_plan)
+    before = REGISTRY.snapshot()
+    ambient = tracer.activate() if tracer is not None else nullcontext()
+    with ambient, profiled(f"execute.{name}"):
+        resolved = (
+            plan if isinstance(plan, ResolvedPlan) else resolve(plan, config=config)
+        )
+        result = fn(resolved)
+    cache_delta = REGISTRY.delta_since(before)
+    if result.metrics is None:
+        result.metrics = {"cache": cache_delta}
+    else:
+        result.metrics["cache"] = cache_delta
+    result.trace = tracer
+    return result
 
 
 def execute_sweep(

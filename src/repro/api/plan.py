@@ -95,6 +95,13 @@ class SvdPlan:
     config:
         Optional :class:`~repro.config.Config` override; ``None`` means
         :data:`repro.config.default_config`.
+    trace:
+        Record an execution trace while this plan runs (see
+        :mod:`repro.obs`): phase spans plus, for the simulate backend,
+        per-task / per-transfer events; the tracer lands on
+        ``RunResult.trace``.  Equivalent to ``execute(..., trace=True)``
+        or the ``REPRO_TRACE=1`` environment gate.  Excluded from plan
+        equality — tracing never changes what a plan computes.
     """
 
     m: Optional[int] = None
@@ -112,8 +119,10 @@ class SvdPlan:
     network: str = "uniform"
     seed: int = 0
     config: Optional[Config] = None
+    trace: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "trace", bool(self.trace))
         object.__setattr__(self, "stage", str(self.stage).lower())
         object.__setattr__(self, "variant", str(self.variant).lower())
         if self.stage not in STAGES:

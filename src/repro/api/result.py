@@ -9,11 +9,14 @@ heterogeneous backends side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from repro.api.plan import SvdPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
 
 
 @dataclass
@@ -67,6 +70,16 @@ class RunResult:
     vt: Optional[np.ndarray] = None
     max_rel_error: Optional[float] = None
     extras: Dict[str, object] = field(default_factory=dict)
+    #: Per-run observability snapshot (:func:`repro.obs.metrics.run_metrics`):
+    #: cache hit/miss deltas for every backend; utilization, communication
+    #: and — when traced — ready-queue / message-size statistics for the
+    #: simulate backend.  Deliberately excluded from :meth:`to_row` so the
+    #: experiment-table schema stays flat and pinned.
+    metrics: Optional[Dict[str, object]] = field(default=None, repr=False)
+    #: The :class:`~repro.obs.tracer.Tracer` that recorded this run, when
+    #: tracing was requested (``plan.trace`` / ``execute(trace=...)`` /
+    #: ``REPRO_TRACE=1``); ``None`` otherwise.
+    trace: Optional["Tracer"] = field(default=None, repr=False)
 
     def to_row(self) -> Dict[str, object]:
         """Flatten the scalar fields into an experiment-table row."""

@@ -12,6 +12,12 @@ without writing any Python:
 * ``critical-path``   — closed-form and DAG-measured critical paths;
 * ``simulate``        — one runtime simulation (GE2BND or GE2VAL) under any
   scheduling policy (``--policy``) and network model (``--network``);
+* ``trace``           — a traced simulation exporting a Chrome/Perfetto
+  trace-event JSON (plus optional ASCII/SVG Gantt charts; see
+  :mod:`repro.obs`);
+* ``stats``           — a simulation reporting its observability metrics
+  (cache hit/miss, per-node utilization, ready-queue depth), optionally
+  as JSON;
 * ``policies``        — list the simulation engine's scheduling policies;
 * ``networks``        — list the simulation engine's network models;
 * ``verify``          — statically verify a compiled Program (dataflow
@@ -57,6 +63,24 @@ def _add_plan_arguments(parser: argparse.ArgumentParser) -> None:
                         help="machine preset")
     parser.add_argument("--seed", type=int, default=0,
                         help="seed of the generated input matrix")
+
+
+def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by the simulation-backed commands
+    (``simulate`` / ``trace`` / ``stats``)."""
+    parser.add_argument("m", type=int, help="matrix rows")
+    parser.add_argument("n", type=int, help="matrix columns")
+    parser.add_argument("--nodes", type=int, default=1)
+    parser.add_argument("--cores", type=int, default=24)
+    parser.add_argument("--nb", type=int, default=160)
+    parser.add_argument("--tree", default="auto", choices=_TREE_CHOICES)
+    parser.add_argument("--algorithm", default="auto", choices=_VARIANT_CHOICES)
+    parser.add_argument("--policy", default="list", choices=_POLICY_CHOICES,
+                        help="scheduling policy of the simulation engine")
+    parser.add_argument("--network", default="uniform", choices=_NETWORK_CHOICES,
+                        help="communication model of the simulation engine")
+    parser.add_argument("--ge2val", action="store_true",
+                        help="include BND2BD + BD2VAL stages")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -155,18 +179,31 @@ def _build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--algorithm", default="bidiag", choices=["bidiag", "rbidiag"])
 
     sim = sub.add_parser("simulate", help="simulate one GE2BND / GE2VAL run")
-    sim.add_argument("m", type=int, help="matrix rows")
-    sim.add_argument("n", type=int, help="matrix columns")
-    sim.add_argument("--nodes", type=int, default=1)
-    sim.add_argument("--cores", type=int, default=24)
-    sim.add_argument("--nb", type=int, default=160)
-    sim.add_argument("--tree", default="auto", choices=_TREE_CHOICES)
-    sim.add_argument("--algorithm", default="auto", choices=_VARIANT_CHOICES)
-    sim.add_argument("--policy", default="list", choices=_POLICY_CHOICES,
-                     help="scheduling policy of the simulation engine")
-    sim.add_argument("--network", default="uniform", choices=_NETWORK_CHOICES,
-                     help="communication model of the simulation engine")
-    sim.add_argument("--ge2val", action="store_true", help="include BND2BD + BD2VAL stages")
+    _add_sim_arguments(sim)
+
+    trace = sub.add_parser(
+        "trace",
+        help="simulate one run with execution tracing and export the "
+             "timeline (Chrome/Perfetto trace JSON, optional Gantt)",
+    )
+    _add_sim_arguments(trace)
+    trace.add_argument("--out", default="trace.json",
+                       help="trace-event JSON output path (default: trace.json; "
+                            "load in ui.perfetto.dev or chrome://tracing)")
+    trace.add_argument("--gantt", default=None, metavar="PATH",
+                       help="also write an ASCII Gantt chart ('-' = stdout)")
+    trace.add_argument("--svg", default=None, metavar="PATH",
+                       help="also write an SVG Gantt timeline")
+
+    stats = sub.add_parser(
+        "stats",
+        help="simulate one run and report its observability metrics "
+             "(cache hit/miss, utilization, communication)",
+    )
+    _add_sim_arguments(stats)
+    stats.add_argument("--json", default=None, metavar="PATH",
+                       help="write the metrics as JSON ('-' = stdout) instead "
+                            "of the human-readable report")
 
     ver = sub.add_parser(
         "verify",
@@ -454,6 +491,103 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     except ValueError as exc:
         return _user_error("simulate", exc)
     print(result.summary())
+    if result.trace is not None:
+        # REPRO_TRACE=1 turns any simulate into a trace run; the file
+        # lands at REPRO_TRACE_FILE (default trace.json).
+        from repro.obs.tracer import default_trace_path
+
+        path = result.trace.write(default_trace_path())
+        print(f"trace written to {path}")
+    return 0
+
+
+def _sim_plan_from_args(args: argparse.Namespace, *, trace: bool = False):
+    """Build the :class:`SvdPlan` shared by simulate / trace / stats."""
+    from repro.api import SvdPlan
+
+    return SvdPlan(
+        m=args.m,
+        n=args.n,
+        stage="ge2val" if args.ge2val else "ge2bnd",
+        variant=args.algorithm,
+        tree=args.tree,
+        tile_size=args.nb,
+        n_cores=args.cores,
+        n_nodes=args.nodes,
+        policy=args.policy,
+        network=args.network,
+        trace=trace,
+    )
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.api import execute
+
+    try:
+        result = execute(_sim_plan_from_args(args, trace=True), backend="simulate")
+    except ValueError as exc:
+        return _user_error("trace", exc)
+    tracer = result.trace
+    path = tracer.write(args.out)
+    print(result.summary())
+    print(f"trace written to {path} (load in ui.perfetto.dev or chrome://tracing)")
+    if args.gantt is not None:
+        chart = tracer.gantt()
+        if args.gantt == "-":
+            print(chart)
+        else:
+            with open(args.gantt, "w", encoding="utf-8") as fh:
+                fh.write(chart + "\n")
+            print(f"gantt written to {args.gantt}")
+    if args.svg is not None:
+        with open(args.svg, "w", encoding="utf-8") as fh:
+            fh.write(tracer.gantt_svg() + "\n")
+        print(f"svg written to {args.svg}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import execute
+
+    try:
+        # Tracing on: the metrics then include ready-queue depth and
+        # message-size histograms on top of cache/utilization figures.
+        result = execute(_sim_plan_from_args(args, trace=True), backend="simulate")
+    except ValueError as exc:
+        return _user_error("stats", exc)
+    metrics = result.metrics or {}
+    if args.json is not None:
+        payload = {"plan": result.plan.describe(), "metrics": metrics}
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(text)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+            print(f"stats written to {args.json}")
+        return 0
+    print(result.summary())
+    util = metrics.get("utilization", {})
+    if util:
+        print(f"overall busy   : {util.get('overall_busy_fraction', 0.0):.1%}")
+        fractions = util.get("busy_fraction_per_node", [])
+        per_node = "  ".join(f"n{i}={f:.1%}" for i, f in enumerate(fractions))
+        print(f"per-node busy  : {per_node}")
+        print(f"idle (core-s)  : {util.get('total_idle_seconds', 0.0):.4f}")
+    ready = metrics.get("ready_queue")
+    if ready:
+        print(
+            f"ready queue    : peak={ready['peak']} "
+            f"mean={ready['time_weighted_mean']:.2f} "
+            f"waited={ready['ops_that_waited']}"
+        )
+    cache = metrics.get("cache", {})
+    if cache:
+        print("cache counters :")
+        for name, value in sorted(cache.items()):
+            print(f"  {name:32s} {value:g}")
     return 0
 
 
@@ -633,6 +767,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_critical_path(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "verify":
         return _cmd_verify(args)
     if args.command == "svd":

@@ -165,3 +165,16 @@ def memory_footprint_tiles(graph: TaskGraph) -> int:
         for _, i, j in task.touched:
             tiles.add((i, j))
     return len(tiles)
+
+
+def schedule_utilization(schedule: "object", machine: "object") -> Dict[str, object]:
+    """Busy/idle utilization breakdown of one executed schedule.
+
+    Thin front door to the shared :func:`repro.obs.util.utilization_summary`
+    helper (the same computation backing ``RunResult.metrics`` and the
+    Gantt exporters), so DAG-level analyses and notebooks get per-node and
+    per-core busy fractions without re-deriving them from schedule rows.
+    """
+    from repro.obs.util import utilization_summary
+
+    return utilization_summary(schedule, machine)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from contextlib import nullcontext
 from typing import Dict, Optional, Tuple, Union
 
 from repro.algorithms.bidiag import bidiag_ge2bnd
@@ -20,6 +21,8 @@ from repro.algorithms.rbidiag import rbidiag_ge2bnd
 from repro.algorithms.tiled_qr import tiled_qr
 from repro.ir.program import Program
 from repro.ir.recorder import ProgramRecorder
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracer import current_tracer
 from repro.trees.base import ReductionTree
 
 #: Algorithms the compiler can capture.
@@ -88,38 +91,40 @@ def compile_program(
     and ``prequr_tree`` default to ``tree`` inside the drivers.
     """
     algorithm = algorithm.lower()
-    recorder = ProgramRecorder(p, q)
-    if algorithm == "qr":
-        tiled_qr(recorder, tree, n_cores=n_cores, grid_rows=grid_rows)
-    elif algorithm == "bidiag":
-        bidiag_ge2bnd(
-            recorder, tree, lq_tree, n_cores=n_cores, grid_rows=grid_rows
+    tracer = current_tracer()
+    with tracer.phase("compile") if tracer is not None else nullcontext():
+        recorder = ProgramRecorder(p, q)
+        if algorithm == "qr":
+            tiled_qr(recorder, tree, n_cores=n_cores, grid_rows=grid_rows)
+        elif algorithm == "bidiag":
+            bidiag_ge2bnd(
+                recorder, tree, lq_tree, n_cores=n_cores, grid_rows=grid_rows
+            )
+        elif algorithm == "rbidiag":
+            rbidiag_ge2bnd(
+                recorder,
+                tree,
+                lq_tree,
+                prequr_tree=prequr_tree,
+                n_cores=n_cores,
+                grid_rows=grid_rows,
+            )
+        else:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+            )
+        return recorder.program(
+            key=program_key(
+                algorithm,
+                p,
+                q,
+                tree,
+                lq_tree=lq_tree,
+                prequr_tree=prequr_tree,
+                n_cores=n_cores,
+                grid_rows=grid_rows,
+            )
         )
-    elif algorithm == "rbidiag":
-        rbidiag_ge2bnd(
-            recorder,
-            tree,
-            lq_tree,
-            prequr_tree=prequr_tree,
-            n_cores=n_cores,
-            grid_rows=grid_rows,
-        )
-    else:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
-        )
-    return recorder.program(
-        key=program_key(
-            algorithm,
-            p,
-            q,
-            tree,
-            lq_tree=lq_tree,
-            prequr_tree=prequr_tree,
-            n_cores=n_cores,
-            grid_rows=grid_rows,
-        )
-    )
 
 
 class ProgramCache:
@@ -211,8 +216,10 @@ class ProgramCache:
             if program is not None:
                 self.hits += 1
                 self._programs.move_to_end(key)
+                REGISTRY.inc("program_cache.hits")
                 return program
             self.misses += 1
+        REGISTRY.inc("program_cache.misses")
         # Compile outside the lock (tracing a large DAG takes a while);
         # a rare duplicate compilation of the same key is harmless.
         program = compile_program(

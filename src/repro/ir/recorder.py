@@ -102,11 +102,17 @@ class ProgramRecorder(KernelExecutor):
 
     def program(self, key: Optional[Tuple] = None) -> Program:
         """Finalize the recorded stream into an immutable :class:`Program`."""
-        cols = self.columns()
-        pred_lists, levels = analyze_coded_stream(
-            cols.reads, cols.writes, 2 * self._pq
-        )
-        return Program.from_columns(cols, pred_lists, key=key, levels=levels)
+        from contextlib import nullcontext
+
+        from repro.obs.tracer import current_tracer
+
+        tracer = current_tracer()
+        with tracer.phase("dep-analysis") if tracer is not None else nullcontext():
+            cols = self.columns()
+            pred_lists, levels = analyze_coded_stream(
+                cols.reads, cols.writes, 2 * self._pq
+            )
+            return Program.from_columns(cols, pred_lists, key=key, levels=levels)
 
     # ------------------------------------------------------------------ #
     # QR family.  Item codes: upper(i, j) = i*q + j, lower(i, j) = pq + i*q + j.

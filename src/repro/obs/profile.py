@@ -1,0 +1,88 @@
+"""Span-timer profiling hooks (``REPRO_PROFILE=1``).
+
+Lightweight named wall-clock timers for call sites that want per-request
+timings without a full trace: the API front door, tuning sweeps, the
+future service layer.  The contract is near-zero overhead when disabled —
+:func:`profiled` checks one module-level flag and yields immediately, no
+clock read, no lock — so the hooks can sit permanently on hot entry
+points.
+
+Enable with ``REPRO_PROFILE=1`` (read once at first use; call
+:func:`reset_profiles` with ``reread_env=True`` after changing the
+environment mid-process, as tests do).  Read the accumulated
+``{name: {count, total_s, min_s, max_s}}`` with :func:`profile_snapshot`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+#: Environment variable turning the span timers on.
+PROFILE_ENV = "REPRO_PROFILE"
+
+_LOCK = threading.Lock()
+#: name -> [count, total seconds, min seconds, max seconds]
+_SPANS: Dict[str, list] = {}
+_enabled: Optional[bool] = None  # resolved lazily from the environment
+
+
+def profile_enabled() -> bool:
+    """True when ``REPRO_PROFILE`` is set (cached after the first read)."""
+    global _enabled
+    if _enabled is None:
+        _enabled = os.environ.get(PROFILE_ENV, "0") not in ("", "0")
+    return _enabled
+
+
+@contextmanager
+def profiled(name: str) -> Iterator[None]:
+    """Time the enclosed block under ``name`` when profiling is enabled.
+
+    Disabled path: one cached boolean test, then a bare yield.
+    """
+    if not profile_enabled():
+        yield
+        return
+    begin = time.perf_counter()
+    try:
+        yield
+    finally:
+        seconds = time.perf_counter() - begin
+        with _LOCK:
+            span = _SPANS.get(name)
+            if span is None:
+                _SPANS[name] = [1, seconds, seconds, seconds]
+            else:
+                span[0] += 1
+                span[1] += seconds
+                if seconds < span[2]:
+                    span[2] = seconds
+                if seconds > span[3]:
+                    span[3] = seconds
+
+
+def profile_snapshot() -> Dict[str, Dict[str, Any]]:
+    """Accumulated span statistics, keyed by span name (JSON-ready)."""
+    with _LOCK:
+        return {
+            name: {
+                "count": span[0],
+                "total_s": span[1],
+                "min_s": span[2],
+                "max_s": span[3],
+            }
+            for name, span in sorted(_SPANS.items())
+        }
+
+
+def reset_profiles(*, reread_env: bool = False) -> None:
+    """Drop all accumulated spans; optionally re-read ``REPRO_PROFILE``."""
+    global _enabled
+    with _LOCK:
+        _SPANS.clear()
+    if reread_env:
+        _enabled = None

@@ -58,12 +58,15 @@ import heapq
 import os
 import threading
 import weakref
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from contextlib import nullcontext
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.dag.task import TaskGraph
 from repro.ir.program import Program
+from repro.obs.metrics import REGISTRY
+from repro.obs.tracer import Tracer, TransferRecord, current_tracer
 from repro.runtime.machine import Machine
 from repro.runtime.network import (
     NetworkModel,
@@ -95,10 +98,15 @@ _RANK_KEYS: "weakref.WeakKeyDictionary[Program, Dict]" = (
 )
 
 
-def _memo_get(table, program: Program, key):
+def _memo_get(table, program: Program, key, name: str):
     with _MEMO_LOCK:
         per = table.get(program)
-        return None if per is None else per.get(key)
+        value = None if per is None else per.get(key)
+    # Hit/miss accounting happens outside the memo lock; one registry
+    # increment per run-level vector lookup (not per op), so the metrics
+    # cost is negligible even in tuning sweeps.
+    REGISTRY.inc(f"engine.memo.{name}.{'hits' if value is not None else 'misses'}")
+    return value
 
 
 def _memo_put(table, program: Program, key, value) -> None:
@@ -111,13 +119,93 @@ def _memo_put(table, program: Program, key, value) -> None:
 
 
 def engine_memo_stats() -> Dict[str, int]:
-    """Entry counts of the per-program memo tables (for tests/diagnostics)."""
+    """Entry counts and hit/miss totals of the per-program memo tables.
+
+    The entry counts are read off the weak-keyed tables directly; the
+    hit/miss counters live in the observability registry
+    (:data:`repro.obs.metrics.REGISTRY`, names ``engine.memo.*``), so
+    callers can bracket a run with ``REGISTRY.snapshot()`` /
+    ``delta_since`` for per-run figures or ``REGISTRY.reset("engine.memo.")``
+    instead of inheriting totals from unrelated runs.
+    """
     with _MEMO_LOCK:
-        return {
+        stats = {
             "duration_programs": len(_DURATION_VECTORS),
             "owner_programs": len(_OWNER_VECTORS),
             "rank_programs": len(_RANK_KEYS),
         }
+    for name in ("duration", "owner", "rank"):
+        for outcome in ("hits", "misses"):
+            stats[f"{name}_{outcome}"] = int(
+                REGISTRY.counter(f"engine.memo.{name}.{outcome}")
+            )
+    return stats
+
+
+def _collect_transfers(
+    program: Program,
+    machine: Machine,
+    network: NetworkModel,
+    finish: Sequence[float],
+    node_of: Sequence[int],
+    transfer_arrival: Dict[Tuple[int, int], float],
+    seen_transfers: "set[Tuple[int, int]]",
+    msg_bytes: Optional[List[int]],
+) -> List[TransferRecord]:
+    """Reconstruct per-message transfer records after the event loop.
+
+    The loops record nothing while running; every message's full timeline
+    is recoverable from state they already keep.  Under the event-driven
+    models the arrival map's insertion order *is* the NIC dispatch order,
+    and ``inject_start = arrival - wire`` / ``injection`` / ``wire`` are
+    re-derived from the payload size exactly as the loop derived them.
+    Under the uniform model each deduplicated edge is a flat pre-charge
+    with no NIC queueing, so the record is ``release -> release +
+    transfer`` with the tile payload.
+    """
+    records: List[TransferRecord] = []
+    if network.event_driven:
+        handshake = network.handshake_seconds(machine)
+        for (op_id, dst), arrival in transfer_arrival.items():
+            if msg_bytes is not None:
+                n_bytes = msg_bytes[op_id]
+            else:
+                n_bytes = network.message_bytes(program.ops[op_id], machine)
+            wire = network.message_seconds(n_bytes, machine)
+            records.append(
+                TransferRecord(
+                    op_id=op_id,
+                    src=node_of[op_id],
+                    dst=dst,
+                    n_bytes=n_bytes,
+                    release=finish[op_id],
+                    handshake=handshake,
+                    inject_start=arrival - wire,
+                    injection=machine.injection_seconds(n_bytes),
+                    wire=wire,
+                    arrival=arrival,
+                )
+            )
+    else:
+        transfer = machine.transfer_time()
+        n_bytes = machine.tile_bytes
+        for op_id, dst in sorted(seen_transfers):
+            release = finish[op_id]
+            records.append(
+                TransferRecord(
+                    op_id=op_id,
+                    src=node_of[op_id],
+                    dst=dst,
+                    n_bytes=n_bytes,
+                    release=release,
+                    handshake=0.0,
+                    inject_start=release,
+                    injection=transfer,
+                    wire=transfer,
+                    arrival=release + transfer,
+                )
+            )
+    return records
 
 
 class SimulationEngine:
@@ -181,7 +269,7 @@ class SimulationEngine:
         per op.
         """
         machine = self.machine
-        vec = _memo_get(_DURATION_VECTORS, program, machine)
+        vec = _memo_get(_DURATION_VECTORS, program, machine, "duration")
         if vec is None:
             vec = machine.kernel_duration_table()[program.kernel_codes_np]
             vec.setflags(write=False)
@@ -201,7 +289,7 @@ class SimulationEngine:
         dist = self.distribution
         if type(dist) is BlockCyclicDistribution:
             key = (dist.grid.rows, dist.grid.cols)
-            vec = _memo_get(_OWNER_VECTORS, program, key)
+            vec = _memo_get(_OWNER_VECTORS, program, key, "owner")
             if vec is None:
                 vec = dist.owner_array(
                     program.owner_rows_np, program.owner_cols_np
@@ -251,7 +339,7 @@ class SimulationEngine:
                 else None
             )
             key = (token, self.machine, grid_key)
-            cached = _memo_get(_RANK_KEYS, program, key)
+            cached = _memo_get(_RANK_KEYS, program, key, "rank")
             if cached is not None:
                 return cached
         keys = policy.rank_array(program, durations_np, node_np, self.machine)
@@ -305,10 +393,17 @@ class SimulationEngine:
                 comm_time_per_node=[0.0] * n_nodes,
                 messages_per_node=[0] * n_nodes,
             )
-        if self.fast:
-            schedule = self._run_fast(program, node_of_op)
+        # Ambient tracer pickup: one thread-local read.  The loops below
+        # never consult the tracer — they record nothing while running —
+        # so traced and untraced replays execute identical instructions
+        # and schedules are bit-identical by construction.
+        tracer = current_tracer()
+        runner = self._run_fast if self.fast else self._run_legacy
+        if tracer is None:
+            schedule = runner(program, node_of_op)
         else:
-            schedule = self._run_legacy(program, node_of_op)
+            with tracer.phase("simulate"):
+                schedule = runner(program, node_of_op, tracer)
         # Opt-in static verification on exit (REPRO_VERIFY=1): sanitize the
         # schedule's feasibility before handing it to the caller.
         from repro.verify.hooks import verify_enabled
@@ -330,25 +425,29 @@ class SimulationEngine:
     # Structure-of-arrays fast path
     # ------------------------------------------------------------------ #
     def _run_fast(
-        self, program: Program, node_of_op: Optional[Sequence[int]]
+        self,
+        program: Program,
+        node_of_op: Optional[Sequence[int]],
+        tracer: Optional[Tracer] = None,
     ) -> Schedule:
         machine = self.machine
         network = self.network
         n = len(program)
         n_nodes = machine.n_nodes
 
-        durations_np = self.duration_vector(program)
-        if node_of_op is None:
-            node_np = self.owner_vector(program)
-            cacheable = True
-        else:
-            node_np = np.ascontiguousarray(node_of_op, dtype=np.int64)
-            if n_nodes == 1:
-                node_np = None
-            cacheable = False
-        keys = self.rank_keys(
-            program, durations_np, node_np, cacheable=cacheable
-        )
+        with tracer.phase("rank") if tracer is not None else nullcontext():
+            durations_np = self.duration_vector(program)
+            if node_of_op is None:
+                node_np = self.owner_vector(program)
+                cacheable = True
+            else:
+                node_np = np.ascontiguousarray(node_of_op, dtype=np.int64)
+                if n_nodes == 1:
+                    node_np = None
+                cacheable = False
+            keys = self.rank_keys(
+                program, durations_np, node_np, cacheable=cacheable
+            )
 
         durations = durations_np.tolist()
         indegree = np.diff(program.pred_indptr_np).tolist()
@@ -398,7 +497,7 @@ class SimulationEngine:
                         heappush(ready, entry_of[succ])
             if scheduled < n:  # pragma: no cover - defensive (cycle)
                 raise RuntimeError("engine stalled: the program has a cycle")
-            return Schedule(
+            schedule = Schedule(
                 makespan=max(finish),
                 start=start,
                 finish=finish,
@@ -410,6 +509,9 @@ class SimulationEngine:
                 comm_time_per_node=[0.0],
                 messages_per_node=[0],
             )
+            if tracer is not None:
+                self._record_run(tracer, program, schedule, ready_time)
+            return schedule
 
         # Multi-node: identical discipline to the legacy loop (greedy node
         # round-robin, dispatch-order NIC serialization — see the legacy
@@ -514,7 +616,7 @@ class SimulationEngine:
             if not progressed:  # pragma: no cover - defensive (cycle)
                 raise RuntimeError("engine stalled: the program has a cycle")
 
-        return Schedule(
+        schedule = Schedule(
             makespan=max(finish),
             start=start,
             finish=finish,
@@ -526,28 +628,42 @@ class SimulationEngine:
             comm_time_per_node=comm_time,
             messages_per_node=sent,
         )
+        if tracer is not None:
+            self._record_run(
+                tracer, program, schedule, ready_time,
+                transfer_arrival=transfer_arrival,
+                seen_transfers=seen_transfers,
+                msg_bytes=msg_bytes,
+            )
+        return schedule
 
     # ------------------------------------------------------------------ #
     # Legacy object path (the pre-SoA engine, retained verbatim as the
     # differential baseline: per-op pricing/ranking over ``program.ops``)
     # ------------------------------------------------------------------ #
     def _run_legacy(
-        self, program: Program, node_of_op: Optional[Sequence[int]]
+        self,
+        program: Program,
+        node_of_op: Optional[Sequence[int]],
+        tracer: Optional[Tracer] = None,
     ) -> Schedule:
         n = len(program)
         machine = self.machine
         network = self.network
         n_nodes = machine.n_nodes
 
-        durations = [machine.kernel_duration(op.kernel) for op in program.ops]
-        if node_of_op is not None:
-            node_of_op = [int(x) for x in node_of_op]
-        else:
-            node_of_op = [
-                self.distribution.owner(*op.owner_tile) if n_nodes > 1 else 0
-                for op in program.ops
+        with tracer.phase("rank") if tracer is not None else nullcontext():
+            durations = [
+                machine.kernel_duration(op.kernel) for op in program.ops
             ]
-        keys = self.policy.rank(program, durations, node_of_op, machine)
+            if node_of_op is not None:
+                node_of_op = [int(x) for x in node_of_op]
+            else:
+                node_of_op = [
+                    self.distribution.owner(*op.owner_tile) if n_nodes > 1 else 0
+                    for op in program.ops
+                ]
+            keys = self.policy.rank(program, durations, node_of_op, machine)
         if len(keys) != n:
             raise ValueError(
                 f"policy {self.policy.name!r} ranked {len(keys)} ops, expected {n}"
@@ -661,7 +777,7 @@ class SimulationEngine:
             if not progressed:  # pragma: no cover - defensive (cycle)
                 raise RuntimeError("engine stalled: the program has a cycle")
 
-        return Schedule(
+        schedule = Schedule(
             makespan=max(finish),
             start=start,
             finish=finish,
@@ -672,6 +788,70 @@ class SimulationEngine:
             core_of_task=core_of_op,
             comm_time_per_node=comm_time,
             messages_per_node=sent,
+        )
+        if tracer is not None:
+            self._record_run(
+                tracer, program, schedule, ready_time,
+                transfer_arrival=transfer_arrival,
+                seen_transfers=seen_transfers,
+            )
+        return schedule
+
+    # ------------------------------------------------------------------ #
+    # Trace recording (post-loop; see repro.obs.tracer)
+    # ------------------------------------------------------------------ #
+    def _record_run(
+        self,
+        tracer: Tracer,
+        program: Program,
+        schedule: Schedule,
+        ready_time: List[float],
+        *,
+        transfer_arrival: Optional[Dict[Tuple[int, int], float]] = None,
+        seen_transfers: Optional["set[Tuple[int, int]]"] = None,
+        msg_bytes: Optional[List[int]] = None,
+    ) -> None:
+        """Hand one finished replay's state to the ambient tracer.
+
+        Called strictly after the event loop: the arrays are the ones the
+        Schedule already carries (shared, not copied) and the transfer
+        timeline is a lazy closure over the loop's dedup structures —
+        reconstructed only when an exporter or metrics reader asks for it
+        — so recording cannot feed back into scheduling decisions and
+        costs O(1) per replay.
+        """
+        transfers: Optional[Callable[[], List[TransferRecord]]] = None
+        if transfer_arrival or seen_transfers:
+            machine, network = self.machine, self.network
+            arrival = transfer_arrival if transfer_arrival is not None else {}
+            seen = seen_transfers if seen_transfers is not None else set()
+
+            def _reconstruct() -> List[TransferRecord]:
+                return _collect_transfers(
+                    program,
+                    machine,
+                    network,
+                    schedule.finish,
+                    schedule.node_of_task,
+                    arrival,
+                    seen,
+                    msg_bytes,
+                )
+
+            transfers = _reconstruct
+        tracer.record_engine_run(
+            program=program,
+            policy=self.policy.name,
+            network=self.network.name,
+            n_nodes=self.machine.n_nodes,
+            cores_per_node=self.machine.cores_per_node,
+            makespan=schedule.makespan,
+            start=schedule.start,
+            finish=schedule.finish,
+            node_of=schedule.node_of_task,
+            core_of=schedule.core_of_task,
+            ready_time=ready_time,
+            transfers=transfers,
         )
 
 

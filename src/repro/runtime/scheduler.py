@@ -83,10 +83,11 @@ class Schedule:
 
     def node_utilization(self, machine: Machine) -> List[float]:
         """Fraction of available core-seconds each node spent computing."""
-        if self.makespan <= 0:
-            return [0.0 for _ in self.busy_time_per_node]
-        capacity = machine.cores_per_node * self.makespan
-        return [busy / capacity for busy in self.busy_time_per_node]
+        from repro.obs.util import node_busy_fractions
+
+        return node_busy_fractions(
+            self.busy_time_per_node, self.makespan, machine.cores_per_node
+        )
 
 
 class ListScheduler:

@@ -17,7 +17,7 @@ distributed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.dag.task import TaskGraph
@@ -68,6 +68,11 @@ class SimulationResult:
     #: Total sending time across all nodes (NIC injection seconds under the
     #: alpha-beta model; ``sent * transfer_time`` under uniform).
     comm_seconds: float = 0.0
+    #: The full per-task schedule behind ``time_seconds``; carried so the
+    #: observability layer (``RunResult.metrics``, Gantt export) can derive
+    #: utilization without re-simulating.  Excluded from equality/repr —
+    #: two results are the same outcome if their scalars agree.
+    schedule: Optional[Schedule] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:  # pragma: no cover - human-readable report
         return (
@@ -216,6 +221,7 @@ def simulate_ge2bnd(
         policy=_policy_name(policy),
         network=_network_name(network),
         comm_seconds=schedule.comm_seconds,
+        schedule=schedule,
     )
 
 
@@ -283,4 +289,5 @@ def simulate_ge2val(
         policy=base.policy,
         network=base.network,
         comm_seconds=base.comm_seconds,
+        schedule=base.schedule,
     )

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.dag.task import TaskGraph
+from repro.obs.export import KERNEL_GLYPHS as _KERNEL_GLYPHS
+from repro.obs.util import idle_seconds_per_node
 from repro.runtime.machine import Machine
 from repro.runtime.scheduler import Schedule
 
@@ -63,23 +65,6 @@ def utilization_report(
         idle_seconds=max(capacity - busy, 0.0),
         critical_kernel=critical,
     )
-
-
-#: One-character glyph per kernel used by the ASCII Gantt chart.
-_KERNEL_GLYPHS: Dict[str, str] = {
-    "GEQRT": "Q",
-    "TSQRT": "S",
-    "TTQRT": "T",
-    "UNMQR": "u",
-    "TSMQR": "s",
-    "TTMQR": "t",
-    "GELQT": "L",
-    "TSLQT": "Z",
-    "TTLQT": "Y",
-    "UNMLQ": "l",
-    "TSMLQ": "z",
-    "TTMLQ": "y",
-}
 
 
 def gantt_chart(
@@ -148,7 +133,6 @@ def gantt_chart(
 
 def idle_time_by_node(schedule: Schedule, machine: Machine) -> List[float]:
     """Idle core-seconds of each node over the makespan."""
-    return [
-        machine.cores_per_node * schedule.makespan - busy
-        for busy in schedule.busy_time_per_node
-    ]
+    return idle_seconds_per_node(
+        schedule.busy_time_per_node, schedule.makespan, machine.cores_per_node
+    )

@@ -101,7 +101,11 @@ class PlanCache:
 
     def get(self, key: str) -> Optional[dict]:
         """The cached record under ``key``, or ``None``."""
-        return self._load().get(key)
+        from repro.obs.metrics import REGISTRY
+
+        record = self._load().get(key)
+        REGISTRY.inc("plan_cache.hits" if record is not None else "plan_cache.misses")
+        return record
 
     def put(self, key: str, record: dict) -> None:
         """Store ``record`` under ``key`` (stamped) and persist."""

@@ -80,7 +80,7 @@ _SET_RETURNING_METHODS = {
 }
 
 #: Directory names (package path components) forming the deterministic core.
-CORE_DIRS = ("ir", "runtime", "dag")
+CORE_DIRS = ("ir", "runtime", "dag", "obs")
 #: Directory names forming the engine paths (wall-clock ban).
 ENGINE_DIRS = ("runtime",)
 
