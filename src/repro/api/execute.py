@@ -157,36 +157,9 @@ def _execute_dag(resolved: ResolvedPlan) -> RunResult:
 # --------------------------------------------------------------------------- #
 # Simulation backend
 # --------------------------------------------------------------------------- #
-def _execute_simulate(resolved: ResolvedPlan) -> RunResult:
-    from repro.runtime.simulator import simulate_ge2bnd, simulate_ge2val
-
-    if resolved.stage == "gesvd":
-        raise ValueError(
-            "stage 'gesvd' is only supported by the 'numeric' backend "
-            "(the simulator models GE2BND and GE2VAL)"
-        )
-    if resolved.stage == "ge2bnd":
-        sim = simulate_ge2bnd(
-            resolved.m,
-            resolved.n,
-            resolved.machine,
-            tree=resolved.tree,
-            algorithm=resolved.variant,
-            grid=resolved.grid,
-            policy=resolved.plan.policy,
-            network=resolved.plan.network,
-        )
-    else:
-        sim = simulate_ge2val(
-            resolved.m,
-            resolved.n,
-            resolved.machine,
-            tree=resolved.tree,
-            algorithm=resolved.variant,
-            grid=resolved.grid,
-            policy=resolved.plan.policy,
-            network=resolved.plan.network,
-        )
+def _simulate_run_result(resolved: ResolvedPlan, sim) -> RunResult:
+    """Fold one :class:`~repro.runtime.simulator.SimulationResult` into a
+    :class:`RunResult` (shared by the per-plan and batched sweep paths)."""
     result = _base_result(resolved, "simulate")
     result.policy = sim.policy
     result.network = sim.network
@@ -209,6 +182,28 @@ def _execute_simulate(resolved: ResolvedPlan) -> RunResult:
             sim.schedule, resolved.machine, tracer=current_tracer()
         )
     return result
+
+
+def _execute_simulate(resolved: ResolvedPlan) -> RunResult:
+    from repro.runtime.simulator import simulate_ge2bnd, simulate_ge2val
+
+    if resolved.stage == "gesvd":
+        raise ValueError(
+            "stage 'gesvd' is only supported by the 'numeric' backend "
+            "(the simulator models GE2BND and GE2VAL)"
+        )
+    simulate = simulate_ge2bnd if resolved.stage == "ge2bnd" else simulate_ge2val
+    sim = simulate(
+        resolved.m,
+        resolved.n,
+        resolved.machine,
+        tree=resolved.tree,
+        algorithm=resolved.variant,
+        grid=resolved.grid,
+        policy=resolved.plan.policy,
+        network=resolved.plan.network,
+    )
+    return _simulate_run_result(resolved, sim)
 
 
 _BACKEND_FNS = {
@@ -286,12 +281,65 @@ def execute(
     return result
 
 
+def _execute_sweep_batched(
+    plans: List[Union[SvdPlan, ResolvedPlan]],
+    *,
+    config: Optional[Config],
+) -> Optional[List[Dict[str, object]]]:
+    """Batched simulate-backend sweep, or ``None`` to use the per-plan path.
+
+    All candidates go through one vectorized engine pass
+    (:func:`repro.runtime.batch.simulate_resolved_batch`), which shares
+    the compiled program, duration/owner/rank vectors and deduplicated
+    schedules across the sweep; the returned rows are identical to
+    per-plan ``execute(plan, "simulate").to_row()`` calls.  Falls back
+    (returns ``None``) when any plan requests execution tracing — batched
+    replays carry no per-task traces.
+    """
+    from repro.obs.tracer import trace_enabled
+    from repro.runtime.batch import simulate_resolved_batch
+
+    source_plans = [p.plan if isinstance(p, ResolvedPlan) else p for p in plans]
+    if trace_enabled() or any(plan.trace for plan in source_plans):
+        return None
+    with profiled("execute.sweep"):
+        resolved = [
+            plan
+            if isinstance(plan, ResolvedPlan)
+            else resolve(plan, config=config)
+            for plan in plans
+        ]
+        outcomes = simulate_resolved_batch(resolved, objective=None, prune=False)
+        rows = []
+        for rp, outcome in zip(resolved, outcomes):
+            if outcome.exception is not None:
+                # Match the per-plan path, which raises at the first
+                # failing plan (in sweep order).
+                raise outcome.exception
+            rows.append(_simulate_run_result(rp, outcome.result).to_row())
+    return rows
+
+
 def execute_sweep(
     plans: Iterable[Union[SvdPlan, ResolvedPlan]],
     backend: str = "simulate",
     *,
     config: Optional[Config] = None,
+    batch: Optional[bool] = None,
 ) -> List[Dict[str, object]]:
     """Execute a list of plans (e.g. from :meth:`SvdPlan.sweep`) and return
-    the flattened result rows — the surface experiment tables build on."""
+    the flattened result rows — the surface experiment tables build on.
+
+    ``batch`` (default ``None`` = auto) routes simulate-backend sweeps of
+    more than one plan through the batch engine
+    (:mod:`repro.runtime.batch`): one vectorized pass over all candidates
+    with bit-identical rows.  ``False`` forces per-plan execution; other
+    backends (and sweeps that request tracing) always run per plan.
+    """
+    plans = list(plans)
+    name = backend.strip().lower()
+    if batch is not False and name == "simulate" and len(plans) > 1:
+        rows = _execute_sweep_batched(plans, config=config)
+        if rows is not None:
+            return rows
     return [execute(plan, backend, config=config).to_row() for plan in plans]

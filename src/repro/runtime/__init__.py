@@ -33,6 +33,12 @@ from repro.runtime.policies import (
     get_policy,
 )
 from repro.runtime.scheduler import ListScheduler, Schedule
+from repro.runtime.batch import (
+    BatchCandidate,
+    BatchEngine,
+    simulate_batch,
+    simulate_resolved_batch,
+)
 from repro.runtime.simulator import (
     SimulationResult,
     simulate_graph,
@@ -42,6 +48,8 @@ from repro.runtime.simulator import (
 
 __all__ = [
     "AlphaBetaNetwork",
+    "BatchCandidate",
+    "BatchEngine",
     "Machine",
     "ListScheduler",
     "NETWORK_MODELS",
@@ -59,7 +67,9 @@ __all__ = [
     "get_policy",
     "run_policy",
     "serial_seconds",
+    "simulate_batch",
     "simulate_graph",
     "simulate_ge2bnd",
     "simulate_ge2val",
+    "simulate_resolved_batch",
 ]

@@ -96,6 +96,21 @@ _OWNER_VECTORS: "weakref.WeakKeyDictionary[Program, Dict]" = (
 _RANK_KEYS: "weakref.WeakKeyDictionary[Program, Dict]" = (
     weakref.WeakKeyDictionary()
 )
+#: program -> {(policy token, machine-or-None, grid key): (rank_of, id_of)}
+#: The batch engine's dense-rank representation of a policy's total order
+#: (see :mod:`repro.runtime.batch`); ``machine`` is folded to ``None`` for
+#: machine-invariant rankings so candidates that differ only in their
+#: machine share one entry.
+_BATCH_RANK_ORDERS: "weakref.WeakKeyDictionary[Program, Dict]" = (
+    weakref.WeakKeyDictionary()
+)
+#: program -> {(machine, grid key): makespan lower bound in seconds}
+#: Analytic ``max(critical path, area)`` bounds used by the batch engine's
+#: pre-pruning; keyed per (machine, grid) because both the duration vector
+#: and the owner-computes placement feed the bound.
+_BATCH_BOUNDS: "weakref.WeakKeyDictionary[Program, Dict]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 def _memo_get(table, program: Program, key, name: str):
@@ -133,12 +148,26 @@ def engine_memo_stats() -> Dict[str, int]:
             "duration_programs": len(_DURATION_VECTORS),
             "owner_programs": len(_OWNER_VECTORS),
             "rank_programs": len(_RANK_KEYS),
+            "batch_order_programs": len(_BATCH_RANK_ORDERS),
+            "batch_bound_programs": len(_BATCH_BOUNDS),
         }
     for name in ("duration", "owner", "rank"):
         for outcome in ("hits", "misses"):
             stats[f"{name}_{outcome}"] = int(
                 REGISTRY.counter(f"engine.memo.{name}.{outcome}")
             )
+    # Batch-level reuse (see repro.runtime.batch): per-candidate hit/miss
+    # counters undercount when one rank order serves a whole batch, so the
+    # batch layer reports its own cross-candidate counters.
+    for kind in ("order", "bound"):
+        for outcome in ("hits", "misses"):
+            stats[f"batch_{kind}_{outcome}"] = int(
+                REGISTRY.counter(f"engine.memo.batch.{kind}.{outcome}")
+            )
+    for name in ("candidates", "simulated", "deduped", "pruned"):
+        stats[f"batch_{name}"] = int(
+            REGISTRY.counter(f"engine.memo.batch.{name}")
+        )
     return stats
 
 

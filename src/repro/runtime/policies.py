@@ -69,6 +69,17 @@ class SchedulingPolicy:
         """
         return None
 
+    @property
+    def rank_machine_invariant(self) -> bool:
+        """Whether the ranking ignores the machine's duration model.
+
+        ``True`` means the keys depend only on the program (and, for
+        node-aware policies, the grid): the batch engine may then share
+        one computed ranking across candidates that differ only in their
+        machine.  The conservative default is ``False``.
+        """
+        return False
+
     def rank(
         self,
         program: Program,
@@ -130,6 +141,10 @@ class CriticalPathPolicy(SchedulingPolicy):
     @property
     def cache_token(self):
         return ("critical-path",)
+
+    @property
+    def rank_machine_invariant(self):
+        return True
 
     def rank(self, program, durations, node_of_op, machine):
         weights = [float(op.weight) for op in program.ops]
@@ -198,6 +213,10 @@ class FifoPolicy(SchedulingPolicy):
     def cache_token(self):
         return ("fifo",)
 
+    @property
+    def rank_machine_invariant(self):
+        return True
+
     def rank(self, program, durations, node_of_op, machine):
         return [float(i) for i in range(len(program))]
 
@@ -238,6 +257,10 @@ class RandomPolicy(SchedulingPolicy):
     @property
     def cache_token(self):
         return ("random", self.seed)
+
+    @property
+    def rank_machine_invariant(self):
+        return True
 
     def rank(self, program, durations, node_of_op, machine):
         rng = random.Random(self.seed)

@@ -140,6 +140,131 @@ def simulate_graph(
     ).run(graph)
 
 
+@dataclass(frozen=True)
+class _Ge2bndSetup:
+    """Everything :func:`simulate_ge2bnd` derives before the engine runs.
+
+    Shared with the batch layer (:mod:`repro.runtime.batch`), which needs
+    the identical program/grid/tree resolution per candidate but replays
+    many candidates through one engine pass.
+    """
+
+    m: int
+    n: int
+    p: int
+    q: int
+    algorithm: str
+    tree_name: str
+    grid: ProcessGrid
+    distribution: BlockCyclicDistribution
+    program: Program
+
+
+def _ge2bnd_setup(
+    m: int,
+    n: int,
+    machine: Machine,
+    *,
+    tree: Union[str, ReductionTree] = "auto",
+    algorithm: str = "bidiag",
+    grid: Optional[ProcessGrid] = None,
+) -> _Ge2bndSetup:
+    """Validate and resolve one GE2BND simulation request (no engine run)."""
+    if m < n:
+        raise ValueError(f"expected m >= n, got {m}x{n}")
+    nb = machine.tile_size
+    p, q = ceil_div(m, nb), ceil_div(n, nb)
+    if grid is None:
+        grid = _default_grid(machine, p, q)
+    elif grid.size != machine.n_nodes:
+        raise ValueError(
+            f"process grid {grid.rows}x{grid.cols} does not cover "
+            f"{machine.n_nodes} node(s)"
+        )
+    distribution = BlockCyclicDistribution(grid)
+    tree_obj = _resolve_sim_tree(tree, machine, p, q, grid)
+    tree_name = tree if isinstance(tree, str) else type(tree).__name__
+
+    algorithm = algorithm.lower()
+    if algorithm not in ("bidiag", "rbidiag"):
+        raise ValueError(f"unknown algorithm {algorithm!r} (use 'bidiag' or 'rbidiag')")
+    program = get_program(
+        algorithm, p, q, tree_obj, n_cores=machine.cores_per_node, grid_rows=grid.rows
+    )
+    return _Ge2bndSetup(
+        m=m,
+        n=n,
+        p=p,
+        q=q,
+        algorithm=algorithm,
+        tree_name=str(tree_name),
+        grid=grid,
+        distribution=distribution,
+        program=program,
+    )
+
+
+def _ge2bnd_result(
+    setup: _Ge2bndSetup,
+    machine: Machine,
+    schedule: Schedule,
+    *,
+    policy: Union[str, SchedulingPolicy],
+    network: Union[str, NetworkModel],
+) -> SimulationResult:
+    """Convert one finished GE2BND schedule into a :class:`SimulationResult`."""
+    flops = ge2bnd_reported_flops(setup.m, setup.n)
+    time = schedule.makespan
+    return SimulationResult(
+        m=setup.m,
+        n=setup.n,
+        p=setup.p,
+        q=setup.q,
+        algorithm=setup.algorithm,
+        tree=setup.tree_name,
+        machine_nodes=machine.n_nodes,
+        time_seconds=time,
+        gflops=flops / time / 1e9 if time > 0 else 0.0,
+        n_tasks=len(setup.program),
+        messages=schedule.messages,
+        comm_bytes=schedule.comm_bytes,
+        ge2bnd_seconds=time,
+        policy=_policy_name(policy),
+        network=_network_name(network),
+        comm_seconds=schedule.comm_seconds,
+        schedule=schedule,
+    )
+
+
+def _ge2val_result(
+    base: SimulationResult, machine: Machine, algorithm: str
+) -> SimulationResult:
+    """Stack the single-node BND2BD + BD2VAL stages onto a GE2BND result."""
+    post = post_processing_seconds(base.n, machine)
+    total = base.time_seconds + post
+    flops = ge2val_reported_flops(base.m, base.n)
+    return SimulationResult(
+        m=base.m,
+        n=base.n,
+        p=base.p,
+        q=base.q,
+        algorithm=f"ge2val-{algorithm}",
+        tree=base.tree,
+        machine_nodes=machine.n_nodes,
+        time_seconds=total,
+        gflops=flops / total / 1e9 if total > 0 else 0.0,
+        n_tasks=base.n_tasks,
+        messages=base.messages,
+        comm_bytes=base.comm_bytes,
+        ge2bnd_seconds=base.ge2bnd_seconds,
+        post_seconds=post,
+        policy=base.policy,
+        network=base.network,
+        comm_seconds=base.comm_seconds,
+        schedule=base.schedule,
+    )
+
+
 def simulate_ge2bnd(
     m: int,
     n: int,
@@ -177,52 +302,13 @@ def simulate_ge2bnd(
         ``"uniform"`` flat-cost model, ``"alpha-beta"`` for the
         message-level model of :mod:`repro.runtime.network`).
     """
-    if m < n:
-        raise ValueError(f"expected m >= n, got {m}x{n}")
-    nb = machine.tile_size
-    p, q = ceil_div(m, nb), ceil_div(n, nb)
-    if grid is None:
-        grid = _default_grid(machine, p, q)
-    elif grid.size != machine.n_nodes:
-        raise ValueError(
-            f"process grid {grid.rows}x{grid.cols} does not cover "
-            f"{machine.n_nodes} node(s)"
-        )
-    distribution = BlockCyclicDistribution(grid)
-    tree_obj = _resolve_sim_tree(tree, machine, p, q, grid)
-    tree_name = tree if isinstance(tree, str) else type(tree).__name__
-
-    algorithm = algorithm.lower()
-    if algorithm not in ("bidiag", "rbidiag"):
-        raise ValueError(f"unknown algorithm {algorithm!r} (use 'bidiag' or 'rbidiag')")
-    program = get_program(
-        algorithm, p, q, tree_obj, n_cores=machine.cores_per_node, grid_rows=grid.rows
+    setup = _ge2bnd_setup(
+        m, n, machine, tree=tree, algorithm=algorithm, grid=grid
     )
-
     schedule = simulate_graph(
-        program, machine, distribution, policy=policy, network=network
+        setup.program, machine, setup.distribution, policy=policy, network=network
     )
-    flops = ge2bnd_reported_flops(m, n)
-    time = schedule.makespan
-    return SimulationResult(
-        m=m,
-        n=n,
-        p=p,
-        q=q,
-        algorithm=algorithm,
-        tree=str(tree_name),
-        machine_nodes=machine.n_nodes,
-        time_seconds=time,
-        gflops=flops / time / 1e9 if time > 0 else 0.0,
-        n_tasks=len(program),
-        messages=schedule.messages,
-        comm_bytes=schedule.comm_bytes,
-        ge2bnd_seconds=time,
-        policy=_policy_name(policy),
-        network=_network_name(network),
-        comm_seconds=schedule.comm_seconds,
-        schedule=schedule,
-    )
+    return _ge2bnd_result(setup, machine, schedule, policy=policy, network=network)
 
 
 def post_processing_seconds(n: int, machine: Machine) -> float:
@@ -268,26 +354,4 @@ def simulate_ge2val(
         m, n, machine, tree=tree, algorithm=algorithm, grid=grid,
         policy=policy, network=network,
     )
-    post = post_processing_seconds(n, machine)
-    total = base.time_seconds + post
-    flops = ge2val_reported_flops(m, n)
-    return SimulationResult(
-        m=m,
-        n=n,
-        p=base.p,
-        q=base.q,
-        algorithm=f"ge2val-{algorithm}",
-        tree=base.tree,
-        machine_nodes=machine.n_nodes,
-        time_seconds=total,
-        gflops=flops / total / 1e9 if total > 0 else 0.0,
-        n_tasks=base.n_tasks,
-        messages=base.messages,
-        comm_bytes=base.comm_bytes,
-        ge2bnd_seconds=base.ge2bnd_seconds,
-        post_seconds=post,
-        policy=base.policy,
-        network=base.network,
-        comm_seconds=base.comm_seconds,
-        schedule=base.schedule,
-    )
+    return _ge2val_result(base, machine, algorithm)

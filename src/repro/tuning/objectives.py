@@ -84,6 +84,13 @@ class Objective:
     direction: str = "min"
     units: str = ""
     description: str = ""
+    #: Batch objective key understood by
+    #: :func:`repro.runtime.batch.simulate_resolved_batch`, or ``None``
+    #: when the objective must be scored per plan (non-simulator backends,
+    #: custom subclasses).  Simulator-backed objectives set it so the
+    #: search strategies can evaluate whole candidate waves through one
+    #: vectorized engine pass with bit-identical scores.
+    batch_key: Optional[str] = None
 
     def score(self, resolved: ResolvedPlan) -> float:
         raise NotImplementedError
@@ -112,6 +119,7 @@ class MakespanObjective(Objective):
     direction = "min"
     units = "s"
     description = "simulated runtime (list scheduler, Section V machine model)"
+    batch_key = "makespan"
 
     def score(self, resolved: ResolvedPlan) -> float:
         from repro.api.execute import execute
@@ -129,6 +137,7 @@ class GflopsObjective(Objective):
     direction = "max"
     units = "GFlop/s"
     description = "simulated rate, normalised by the direct-bidiagonalization flops"
+    batch_key = "gflops"
 
     def score(self, resolved: ResolvedPlan) -> float:
         from repro.api.execute import execute
@@ -197,6 +206,7 @@ class CommTimeObjective(Objective):
     name = "comm-time"
     direction = "min"
     units = "s"
+    batch_key = "comm-time"
     description = (
         "simulated sending seconds under the plan's network model "
         "(alpha-beta for message-level fidelity, Section VI-D)"

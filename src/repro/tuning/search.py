@@ -24,8 +24,9 @@ without touching the simulator.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.plan import SvdPlan
@@ -40,11 +41,15 @@ from repro.tuning.space import SearchSpace
 # --------------------------------------------------------------------------- #
 # Candidate evaluation (shared by both strategies)
 # --------------------------------------------------------------------------- #
-def _score_candidate(
-    args: Tuple[SvdPlan, Union[str, Objective]],
+def _score_one(
+    objective: Union[str, Objective], plan: SvdPlan
 ) -> Tuple[Optional[float], Optional[str]]:
-    """Score one candidate; module-level so process pools can pickle it."""
-    plan, objective = args
+    """Score one candidate; module-level so process pools can pickle it.
+
+    The objective comes first so waves can map ``partial(_score_one,
+    objective)`` over plans — the objective is then pickled once per
+    ``Executor.map`` call instead of once per candidate.
+    """
     try:
         objective = get_objective(objective)
         return objective.score(resolve(plan)), None
@@ -99,6 +104,62 @@ class Evaluation:
         return row
 
 
+def _make_pool(
+    workers: int, executor: str, n_candidates: int
+) -> Optional[Executor]:
+    """One shared pool for a whole search, or ``None`` when serial wins."""
+    if workers > 1 and n_candidates > 1:
+        pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
+        return pool_cls(max_workers=workers)
+    return None
+
+
+def _race_batch(
+    candidates: Sequence[SvdPlan],
+    objective: Objective,
+    *,
+    prune: bool,
+    fidelity: Optional[Tuple[int, int]] = None,
+) -> List[Evaluation]:
+    """Score a whole candidate wave through one vectorized engine pass.
+
+    Routes every resolvable candidate through
+    :func:`repro.runtime.batch.simulate_resolved_batch`, which shares the
+    compiled program, duration/owner/rank vectors and analytic pruning
+    bounds across the wave; scores are bit-identical to per-candidate
+    ``objective.score(resolve(plan))`` calls and the pruned winner matches
+    the exhaustive one.  Pruning decisions come from the batch layer's
+    engine-level lower bounds (at least as tight as
+    :meth:`~repro.tuning.objectives.Objective.bound`), so
+    ``Evaluation.bound`` is left unset here.
+    """
+    from repro.runtime.batch import simulate_resolved_batch
+
+    evals = [Evaluation(plan=plan, fidelity=fidelity) for plan in candidates]
+    indices: List[int] = []
+    resolved_plans: List[ResolvedPlan] = []
+    for i, ev in enumerate(evals):
+        try:
+            resolved_plans.append(resolve(ev.plan))
+        except Exception as exc:
+            ev.error = f"{type(exc).__name__}: {exc}"
+            continue
+        indices.append(i)
+    outcomes = simulate_resolved_batch(
+        resolved_plans, objective=objective.batch_key, prune=prune
+    )
+    for i, outcome in zip(indices, outcomes):
+        ev = evals[i]
+        if outcome.pruned:
+            ev.pruned = True
+        elif outcome.error is not None:
+            ev.error = outcome.error
+        elif outcome.score is not None:
+            ev.score = outcome.score
+            ev.cost = objective.cost(outcome.score)
+    return evals
+
+
 def _race(
     candidates: Sequence[SvdPlan],
     objective: Objective,
@@ -107,6 +168,8 @@ def _race(
     executor: str,
     prune: bool,
     fidelity: Optional[Tuple[int, int]] = None,
+    batch: bool = False,
+    pool: Optional[Executor] = None,
 ) -> List[Evaluation]:
     """Evaluate ``candidates``, most-promising-first, pruning hopeless ones.
 
@@ -114,9 +177,16 @@ def _race(
     A candidate is pruned only when its optimistic bound is *strictly*
     worse than a cost already measured, so the best (cost, index) pair is
     identical to an exhaustive evaluation whenever the bounds are valid.
-    Waves of up to ``workers`` candidates are scored concurrently on one
-    shared ``concurrent.futures`` pool.
+
+    ``batch=True`` scores the whole wave through one vectorized engine
+    pass (see :func:`_race_batch`); otherwise waves of up to ``workers``
+    candidates are scored concurrently on one shared
+    ``concurrent.futures`` pool — the caller may pass a ``pool`` to reuse
+    across several races (successive-halving rungs), else one is created
+    and shut down here.
     """
+    if batch:
+        return _race_batch(candidates, objective, prune=prune, fidelity=fidelity)
     evals = [Evaluation(plan=plan, fidelity=fidelity) for plan in candidates]
     resolved: List[Optional[ResolvedPlan]] = [None] * len(evals)
     if prune:
@@ -133,38 +203,41 @@ def _race(
         range(len(evals)),
         key=lambda i: (evals[i].bound is not None, evals[i].bound or 0.0, i),
     )
-    pool = None
-    if workers > 1 and len(candidates) > 1:
-        pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
-        pool = pool_cls(max_workers=workers)
+    own_pool = pool is None
+    if own_pool:
+        pool = _make_pool(workers, executor, len(candidates))
     try:
         best_cost = float("inf")
-        wave = max(1, workers)
+        # Without pruning there is no incumbent to tighten between waves,
+        # so the whole set goes out as one chunked map.
+        wave = max(1, workers) if prune else max(1, len(order))
+        score_fn = partial(_score_one, objective)
         cursor = 0
         while cursor < len(order):
-            batch: List[int] = []
-            while cursor < len(order) and len(batch) < wave:
+            batch_ix: List[int] = []
+            while cursor < len(order) and len(batch_ix) < wave:
                 idx = order[cursor]
                 cursor += 1
                 if prune and evals[idx].bound is not None and evals[idx].bound > best_cost:
                     evals[idx].pruned = True
                     continue
-                batch.append(idx)
-            if not batch:
+                batch_ix.append(idx)
+            if not batch_ix:
                 continue
-            if pool is not None and len(batch) > 1:
+            if pool is not None and len(batch_ix) > 1:
                 scores = list(
                     pool.map(
-                        _score_candidate,
-                        [(evals[i].plan, objective) for i in batch],
+                        score_fn,
+                        [evals[i].plan for i in batch_ix],
+                        chunksize=max(1, -(-len(batch_ix) // max(1, workers))),
                     )
                 )
             else:
                 scores = [
                     _score_resolved(evals[i].plan, resolved[i], objective)
-                    for i in batch
+                    for i in batch_ix
                 ]
-            for idx, (score, error) in zip(batch, scores):
+            for idx, (score, error) in zip(batch_ix, scores):
                 ev = evals[idx]
                 ev.score, ev.error = score, error
                 if score is not None:
@@ -172,7 +245,7 @@ def _race(
                     if ev.cost < best_cost:
                         best_cost = ev.cost
     finally:
-        if pool is not None:
+        if own_pool and pool is not None:
             pool.shutdown()
     return evals
 
@@ -191,6 +264,18 @@ def _best_index(evals: Sequence[Evaluation]) -> int:
 # --------------------------------------------------------------------------- #
 # Strategies
 # --------------------------------------------------------------------------- #
+def _use_batch(batch: Optional[bool], objective: Objective) -> bool:
+    """Resolve the ``batch`` tri-state against the objective's capability.
+
+    ``None`` (default) turns batching on exactly when the objective is
+    simulator-backed (it advertises a
+    :attr:`~repro.tuning.objectives.Objective.batch_key`); ``False``
+    forces the per-candidate path; ``True`` requests batching but still
+    falls back per-candidate for objectives the batch layer cannot score.
+    """
+    return batch is not False and objective.batch_key is not None
+
+
 @dataclass(frozen=True)
 class GridSearch:
     """Exhaustive sweep with optional analytic pruning."""
@@ -205,6 +290,7 @@ class GridSearch:
         *,
         workers: int = 1,
         executor: str = "process",
+        batch: Optional[bool] = None,
     ) -> List[Evaluation]:
         return _race(
             candidates,
@@ -212,6 +298,7 @@ class GridSearch:
             workers=workers,
             executor=executor,
             prune=self.prune,
+            batch=_use_batch(batch, objective),
         )
 
 
@@ -258,6 +345,7 @@ class SuccessiveHalving:
         *,
         workers: int = 1,
         executor: str = "process",
+        batch: Optional[bool] = None,
     ) -> List[Evaluation]:
         max_tile = max(
             plan.tile_size for plan in candidates if isinstance(plan.tile_size, int)
@@ -266,34 +354,44 @@ class SuccessiveHalving:
         fidelities = self._fidelities(base.m, base.n, max_tile, len(candidates))
         alive = list(range(len(candidates)))
         all_evals: List[Evaluation] = []
-        for rung, (fm, fn) in enumerate(fidelities):
-            at_full = (fm, fn) == (base.m, base.n)
-            scaled = [
-                candidates[i] if at_full else candidates[i].with_(m=fm, n=fn)
-                for i in alive
-            ]
-            evals = _race(
-                scaled,
-                objective,
-                workers=workers,
-                executor=executor,
-                # Bounds are only proven against costs of the same fidelity,
-                # so pruning stays rung-local (and therefore safe).
-                prune=self.prune,
-                fidelity=None if at_full else (fm, fn),
-            )
-            # Record against the original (full-size) candidate plans.
-            for local, i in enumerate(alive):
-                evals[local].plan = candidates[i]
-                all_evals.append(evals[local])
-            if rung == len(fidelities) - 1:
-                break
-            ranked = sorted(
-                (local for local, ev in enumerate(evals) if ev.score is not None),
-                key=lambda local: (evals[local].cost, local),
-            )
-            keep = max(1, -(-len(alive) // self.eta))
-            alive = [alive[local] for local in ranked[:keep]]
+        use_batch = _use_batch(batch, objective)
+        # One pool for all rungs: spawning worker processes per rung costs
+        # more than most rungs' actual scoring.  Batch mode needs none.
+        pool = None if use_batch else _make_pool(workers, executor, len(candidates))
+        try:
+            for rung, (fm, fn) in enumerate(fidelities):
+                at_full = (fm, fn) == (base.m, base.n)
+                scaled = [
+                    candidates[i] if at_full else candidates[i].with_(m=fm, n=fn)
+                    for i in alive
+                ]
+                evals = _race(
+                    scaled,
+                    objective,
+                    workers=workers,
+                    executor=executor,
+                    # Bounds are only proven against costs of the same fidelity,
+                    # so pruning stays rung-local (and therefore safe).
+                    prune=self.prune,
+                    fidelity=None if at_full else (fm, fn),
+                    batch=use_batch,
+                    pool=pool,
+                )
+                # Record against the original (full-size) candidate plans.
+                for local, i in enumerate(alive):
+                    evals[local].plan = candidates[i]
+                    all_evals.append(evals[local])
+                if rung == len(fidelities) - 1:
+                    break
+                ranked = sorted(
+                    (local for local, ev in enumerate(evals) if ev.score is not None),
+                    key=lambda local: (evals[local].cost, local),
+                )
+                keep = max(1, -(-len(alive) // self.eta))
+                alive = [alive[local] for local in ranked[:keep]]
+        finally:
+            if pool is not None:
+                pool.shutdown()
         return all_evals
 
 
@@ -431,6 +529,7 @@ def tune(
     cache: Union[PlanCache, bool, None] = True,
     force: bool = False,
     executor: str = "process",
+    batch: Optional[bool] = None,
 ) -> TuningResult:
     """Search the plan space around ``plan`` and return the best candidate.
 
@@ -462,6 +561,15 @@ def tune(
     executor:
         ``"process"`` (default; real parallelism for the pure-Python
         simulator) or ``"thread"``.
+    batch:
+        ``None`` (default) batches candidate waves through one vectorized
+        engine pass (:mod:`repro.runtime.batch`) whenever the objective is
+        simulator-backed — scores stay bit-identical to per-candidate
+        evaluation while the shared setup, analytic pruning and schedule
+        deduplication make large sweeps several times faster.  ``False``
+        forces the per-candidate path (e.g. to fan out over a process
+        pool); ``True`` requests batching, falling back per-candidate for
+        objectives the batch layer cannot score.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -512,7 +620,7 @@ def tune(
     start = time.perf_counter()
     candidates = space.candidates(base)
     evaluations = strategy.run(
-        candidates, objective, workers=workers, executor=executor
+        candidates, objective, workers=workers, executor=executor, batch=batch
     )
     # Successive halving re-scores survivors at several fidelities; the
     # winner is picked among full-fidelity evaluations only.
