@@ -163,6 +163,8 @@ def _simulate_run_result(resolved: ResolvedPlan, sim) -> RunResult:
     result = _base_result(resolved, "simulate")
     result.policy = sim.policy
     result.network = sim.network
+    result.scenario = sim.scenario
+    result.distribution = sim.distribution
     result.time_seconds = sim.time_seconds
     result.gflops = sim.gflops
     result.n_tasks = sim.n_tasks
@@ -202,6 +204,9 @@ def _execute_simulate(resolved: ResolvedPlan) -> RunResult:
         grid=resolved.grid,
         policy=resolved.plan.policy,
         network=resolved.plan.network,
+        scenario=resolved.scenario,
+        draws=resolved.draws,
+        seed=resolved.plan.seed,
     )
     return _simulate_run_result(resolved, sim)
 

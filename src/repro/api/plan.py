@@ -90,8 +90,19 @@ class SvdPlan:
         ``"uniform"`` reproduces the legacy flat-cost model exactly,
         ``"alpha-beta"`` prices each message with latency + bandwidth and
         serialized NIC injection.  Ignored by the numeric and DAG backends.
+    scenario:
+        Machine-realism scenario for the simulation engine: a registered
+        name (see :data:`repro.runtime.scenario.SCENARIOS`), an explicit
+        :class:`~repro.runtime.scenario.Scenario`, or ``None`` for the
+        ideal deterministic machine.  Stochastic scenarios attach a
+        Monte-Carlo :class:`~repro.runtime.scenario.MakespanDistribution`
+        to the result.  Ignored by the numeric and DAG backends.
+    draws:
+        Monte-Carlo draw count override for stochastic scenarios
+        (``None`` defers to the scenario's own default).
     seed:
-        Seed of the generated input matrix when ``matrix`` is omitted.
+        Seed of the generated input matrix when ``matrix`` is omitted,
+        and of the Monte-Carlo draws when a stochastic scenario runs.
     config:
         Optional :class:`~repro.config.Config` override; ``None`` means
         :data:`repro.config.default_config`.
@@ -117,6 +128,8 @@ class SvdPlan:
     machine: str = "miriel"
     policy: str = "list"
     network: str = "uniform"
+    scenario: Union[str, object, None] = None
+    draws: Optional[int] = None
     seed: int = 0
     config: Optional[Config] = None
     trace: bool = field(default=False, compare=False)
@@ -194,6 +207,15 @@ class SvdPlan:
                 f"unknown network model {self.network!r}; "
                 f"available: {sorted(NETWORK_MODELS)}"
             )
+        if self.scenario is not None:
+            from repro.runtime.scenario import get_scenario
+
+            object.__setattr__(self, "scenario", get_scenario(self.scenario))
+        if self.draws is not None:
+            draws = int(self.draws)
+            if draws < 1:
+                raise ValueError(f"draws must be >= 1, got {self.draws}")
+            object.__setattr__(self, "draws", draws)
 
     # ------------------------------------------------------------------ #
     # Derivation helpers
@@ -247,5 +269,7 @@ class SvdPlan:
             "machine": self.machine,
             "policy": self.policy,
             "network": self.network,
+            "scenario": getattr(self.scenario, "name", None),
+            "draws": self.draws,
             "seed": self.seed,
         }

@@ -192,6 +192,13 @@ class ResolvedPlan:
     tree_name: str
     machine: Machine
     grid: ProcessGrid
+    #: Machine-realism scenario (already coerced to an instance by the
+    #: plan), or ``None`` for the ideal deterministic machine.  The
+    #: machine above stays nominal — scenario slowdowns are applied inside
+    #: :func:`repro.runtime.scenario.run_scenario`.
+    scenario: Optional[object] = None
+    #: Monte-Carlo draw-count override (``None`` = scenario default).
+    draws: Optional[int] = None
 
     @property
     def distribution(self) -> BlockCyclicDistribution:
@@ -272,4 +279,6 @@ def resolve(plan: SvdPlan, config: Optional[Config] = None) -> ResolvedPlan:
         tree_name=tree_display_name(plan.tree),
         machine=machine,
         grid=grid,
+        scenario=plan.scenario,
+        draws=plan.draws,
     )

@@ -58,6 +58,12 @@ class RunResult:
     network: Optional[str] = None
     #: Total simulated sending seconds across all nodes (simulate backend).
     comm_seconds: Optional[float] = None
+    #: Machine-realism scenario name the simulation ran under (see
+    #: :mod:`repro.runtime.scenario`); ``None`` for the default path.
+    scenario: Optional[str] = None
+    #: Monte-Carlo makespan distribution for stochastic scenarios
+    #: (``time_seconds`` stays the nominal replay); ``None`` otherwise.
+    distribution: Optional[object] = field(default=None, repr=False)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     time_seconds: Optional[float] = None
     gflops: Optional[float] = None
@@ -102,6 +108,12 @@ class RunResult:
             row["policy"] = self.policy
         if self.network is not None:
             row["network"] = self.network
+        # Scenario columns appear only when a scenario ran, so the pinned
+        # default-table schema is untouched.
+        if self.scenario is not None:
+            row["scenario"] = self.scenario
+        if self.distribution is not None:
+            row.update(self.distribution.to_row())
         for key in ("time_seconds", "gflops", "n_tasks", "messages", "comm_bytes",
                     "comm_seconds", "critical_path", "max_rel_error"):
             value = getattr(self, key)
@@ -127,6 +139,14 @@ class RunResult:
             lines.append(f"policy         : {self.policy}")
         if self.network is not None:
             lines.append(f"network        : {self.network}")
+        if self.scenario is not None:
+            lines.append(f"scenario       : {self.scenario}")
+        if self.distribution is not None:
+            d = self.distribution
+            lines.append(
+                f"mc makespan    : mean {d.mean:.4f}s  p50 {d.p50:.4f}s  "
+                f"p95 {d.p95:.4f}s  ({d.n_draws} draws, seed {d.seed})"
+            )
         if self.n_tasks is not None:
             lines.append(f"tasks          : {self.n_tasks}")
         if self.messages is not None:

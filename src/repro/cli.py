@@ -20,6 +20,8 @@ without writing any Python:
   as JSON;
 * ``policies``        — list the simulation engine's scheduling policies;
 * ``networks``        — list the simulation engine's network models;
+* ``scenarios``       — list the machine-realism scenarios (heterogeneity,
+  fault and network-noise models; see :mod:`repro.runtime.scenario`);
 * ``verify``          — statically verify a compiled Program (dataflow
   oracle) and its engine Schedules (feasibility sanitizer) for one plan,
   optionally across every policy / network (see :mod:`repro.verify`);
@@ -42,12 +44,14 @@ from repro.api import BACKENDS, STAGES, VARIANTS
 from repro.config import PRESETS
 from repro.runtime.network import NETWORK_MODELS
 from repro.runtime.policies import POLICIES
+from repro.runtime.scenario import SCENARIOS
 from repro.trees import TREE_REGISTRY
 
 _TREE_CHOICES = sorted(TREE_REGISTRY)
 _VARIANT_CHOICES = list(VARIANTS)
 _POLICY_CHOICES = sorted(POLICIES)
 _NETWORK_CHOICES = sorted(NETWORK_MODELS)
+_SCENARIO_CHOICES = sorted(SCENARIOS)
 
 
 def _add_plan_arguments(parser: argparse.ArgumentParser) -> None:
@@ -79,6 +83,14 @@ def _add_sim_arguments(parser: argparse.ArgumentParser) -> None:
                         help="scheduling policy of the simulation engine")
     parser.add_argument("--network", default="uniform", choices=_NETWORK_CHOICES,
                         help="communication model of the simulation engine")
+    parser.add_argument("--scenario", default=None, choices=_SCENARIO_CHOICES,
+                        help="machine-realism scenario (heterogeneity / faults / "
+                             "noise; see 'repro scenarios')")
+    parser.add_argument("--draws", type=int, default=None,
+                        help="Monte-Carlo draw count for stochastic scenarios "
+                             "(default: the scenario's own)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed of the Monte-Carlo scenario draws")
     parser.add_argument("--ge2val", action="store_true",
                         help="include BND2BD + BD2VAL stages")
 
@@ -98,6 +110,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser(
         "networks", help="list the simulation engine's network models"
+    )
+
+    sub.add_parser(
+        "scenarios",
+        help="list the machine-realism scenarios and their fault/noise models",
     )
 
     run = sub.add_parser("run", help="run a registered experiment")
@@ -165,6 +182,13 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="scheduling policy scoring simulated candidates")
     tune.add_argument("--network", default="uniform", choices=_NETWORK_CHOICES,
                       help="communication model scoring simulated candidates")
+    tune.add_argument("--scenario", default=None, choices=_SCENARIO_CHOICES,
+                      help="machine-realism scenario the candidates run under "
+                           "(pair with --objective robust-makespan)")
+    tune.add_argument("--draws", type=int, default=None,
+                      help="Monte-Carlo draw count for stochastic scenarios")
+    tune.add_argument("--seed", type=int, default=0,
+                      help="seed of the Monte-Carlo scenario draws")
     tune.add_argument("--json", help="write the evaluation rows to this JSON file")
     tune.add_argument("--n-cores", type=int, default=24,
                       help="cores per node (default: 24, the paper's miriel node)")
@@ -269,6 +293,22 @@ def _cmd_networks() -> int:
 
     for name, description in available_networks():
         print(f"{name:12s}  {description}")
+    return 0
+
+
+def _cmd_scenarios() -> int:
+    from repro.runtime.faults import available_fault_models, available_noise_models
+    from repro.runtime.scenario import available_scenarios
+
+    print("scenarios:")
+    for name, description in available_scenarios():
+        print(f"  {name:12s}  {description}")
+    print("fault models:")
+    for name, description in available_fault_models():
+        print(f"  {name:12s}  {description}")
+    print("noise models:")
+    for name, description in available_noise_models():
+        print(f"  {name:12s}  {description}")
     return 0
 
 
@@ -401,6 +441,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
             machine=args.machine,
             policy=args.policy,
             network=args.network,
+            scenario=args.scenario,
+            draws=args.draws,
+            seed=args.seed,
         )
         space = SearchSpace(
             tile_sizes=_parse_int_list(args.tile_sizes),
@@ -472,22 +515,10 @@ def _cmd_critical_path(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.api import SvdPlan, execute
+    from repro.api import execute
 
     try:
-        plan = SvdPlan(
-            m=args.m,
-            n=args.n,
-            stage="ge2val" if args.ge2val else "ge2bnd",
-            variant=args.algorithm,
-            tree=args.tree,
-            tile_size=args.nb,
-            n_cores=args.cores,
-            n_nodes=args.nodes,
-            policy=args.policy,
-            network=args.network,
-        )
-        result = execute(plan, backend="simulate")
+        result = execute(_sim_plan_from_args(args), backend="simulate")
     except ValueError as exc:
         return _user_error("simulate", exc)
     print(result.summary())
@@ -516,6 +547,9 @@ def _sim_plan_from_args(args: argparse.Namespace, *, trace: bool = False):
         n_nodes=args.nodes,
         policy=args.policy,
         network=args.network,
+        scenario=args.scenario,
+        draws=args.draws,
+        seed=args.seed,
         trace=trace,
     )
 
@@ -757,6 +791,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_policies()
     if args.command == "networks":
         return _cmd_networks()
+    if args.command == "scenarios":
+        return _cmd_scenarios()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "plan":

@@ -43,7 +43,10 @@ def format_rows(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) ->
     if not rows:
         return "(no data)"
     if columns is None:
-        columns = list(rows[0].keys())
+        # Union across rows (first-seen order): sweeps with conditional
+        # columns — e.g. mc_* on stochastic-scenario rows only — still show
+        # every column; rows that lack one print '-'.
+        columns = list(dict.fromkeys(key for r in rows for key in r))
     widths = {c: max(len(str(c)), max(len(_fmt(r.get(c))) for r in rows)) for c in columns}
     header = "  ".join(str(c).ljust(widths[c]) for c in columns)
     lines = [header, "-" * len(header)]
@@ -53,6 +56,8 @@ def format_rows(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) ->
 
 
 def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
     if isinstance(value, float):
         return f"{value:.1f}"
     return str(value)
@@ -417,6 +422,42 @@ def network_sweep(
     return execute_sweep(
         base.sweep(tree=list(trees), network=list(networks)), backend="simulate"
     )
+
+
+def scenario_sweep(
+    m: int = 2000,
+    n: int = 2000,
+    tile_size: int = 250,
+    n_cores: int = 8,
+    n_nodes: int = 4,
+    tree: str = "greedy",
+    scenarios: Sequence[str] = ("none", "hetero", "fail-stop", "straggler", "noisy-net"),
+    draws: int = 32,
+    seed: int = 0,
+) -> List[Row]:
+    """Simulated GE2BND under the machine-realism scenarios, side by side.
+
+    The axis the scenario subsystem opened: the same compiled program is
+    replayed on the ideal machine (``none``), under static heterogeneity
+    (``hetero``) and under the stochastic fault/noise models, so the rows
+    show how far the paper's nominal makespan degrades per failure mode.
+    Stochastic rows carry the Monte-Carlo columns (``mc_mean`` /
+    ``mc_p50`` / ``mc_p95``); deterministic rows only the nominal time —
+    the ``none`` row is bit-identical to the default simulate path.
+    """
+    from repro.api import SvdPlan, execute_sweep
+
+    if full_scale():
+        m = n = 20000
+        tile_size = 160
+        n_cores = 24
+        draws = 128
+    base = SvdPlan(
+        m=m, n=n, stage="ge2bnd", tile_size=tile_size,
+        n_cores=n_cores, n_nodes=n_nodes, tree=tree,
+        draws=draws, seed=seed,
+    )
+    return execute_sweep(base.sweep(scenario=list(scenarios)), backend="simulate")
 
 
 def plan_backend_matrix(

@@ -144,6 +144,12 @@ def _experiments() -> List[Experiment]:
             runner=figures.network_sweep,
         ),
         Experiment(
+            key="scenario-sweep",
+            paper_ref="Section V (scenario realism)",
+            description="GE2BND under heterogeneity / fault / noise scenarios, with Monte-Carlo columns",
+            runner=figures.scenario_sweep,
+        ),
+        Experiment(
             key="tuning-sweep",
             paper_ref="Section VI-B (autotuning)",
             description="Autotuned (tile size, tree, variant) per matrix shape via repro.tuning",

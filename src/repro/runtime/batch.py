@@ -60,7 +60,7 @@ from __future__ import annotations
 
 import heapq
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -85,6 +85,7 @@ from repro.runtime.network import (
     resolved_message_bytes_vector,
 )
 from repro.runtime.policies import SchedulingPolicy, get_policy
+from repro.runtime.scenario import run_scenario
 from repro.runtime.scheduler import Schedule
 from repro.runtime.simulator import (
     SimulationResult,
@@ -232,6 +233,13 @@ class _PreparedBatch:
     # ------------------------------------------------------------------ #
     def add(self, candidate: BatchCandidate) -> int:
         """Resolve one candidate against the shared tables; return its index."""
+        if candidate.machine.heterogeneous:
+            raise ValueError(
+                "batched replay prices nominal durations only; "
+                "heterogeneous machines go through "
+                "repro.runtime.scenario.run_scenario (plan-level batching "
+                "routes scenarios there automatically)"
+            )
         engine = SimulationEngine(
             candidate.machine,
             candidate.distribution,
@@ -735,6 +743,12 @@ def _outcome_score(
         return float(result.gflops)
     if objective == "comm-time":
         return float(result.comm_seconds)
+    if objective == "robust-makespan":
+        # p95 across Monte-Carlo draws; deterministic runs (no scenario,
+        # or a fault-free one) degrade to the nominal makespan.
+        if result.distribution is not None:
+            return float(result.distribution.p95)
+        return float(result.time_seconds)
     raise ValueError(f"unknown batch objective {objective!r}")
 
 
@@ -750,14 +764,22 @@ def simulate_resolved_batch(
     ``resolved_plans`` are :class:`~repro.api.resolver.ResolvedPlan`
     instances (possibly spanning several DAG shapes — candidates are
     grouped per compiled program).  ``objective`` selects the extracted
-    score (``"makespan"`` / ``"gflops"`` / ``"comm-time"``; ``None``
-    returns raw :class:`~repro.runtime.simulator.SimulationResult` objects
-    only).  With ``prune=True`` and a bounded objective, candidates are
-    evaluated most-promising-first against the engine's analytic lower
-    bounds and strictly hopeless ones are skipped (``pruned=True``,
-    ``result=None``) without touching the event loop; the surviving
-    winner is the same one an exhaustive pass would pick.  ``comm-time``
-    has no valid lower bound, so it never prunes.
+    score (``"makespan"`` / ``"gflops"`` / ``"comm-time"`` /
+    ``"robust-makespan"``; ``None`` returns raw
+    :class:`~repro.runtime.simulator.SimulationResult` objects only).
+    With ``prune=True`` and a bounded objective, candidates are evaluated
+    most-promising-first against the engine's analytic lower bounds and
+    strictly hopeless ones are skipped (``pruned=True``, ``result=None``)
+    without touching the event loop; the surviving winner is the same one
+    an exhaustive pass would pick.  ``comm-time`` has no valid lower
+    bound, so it never prunes.  ``robust-makespan`` prunes against the
+    *nominal* bound, which stays valid because every scenario
+    perturbation factor is ``>= 1`` (draws only ever get slower).
+
+    Plans carrying a non-trivial scenario bypass the batched event loop
+    for that candidate and run the Monte-Carlo scenario driver
+    (:func:`repro.runtime.scenario.run_scenario`) instead — matching what
+    ``execute`` does for the same plan, draw for draw.
 
     A per-plan resolution or simulation failure is captured on that plan's
     :class:`PlanOutcome` (``error`` / ``exception``) instead of aborting
@@ -769,7 +791,7 @@ def simulate_resolved_batch(
 
     # ---------------- prepare: resolve every candidate, group by program
     groups: Dict[int, _PreparedBatch] = {}
-    #: Per candidate: (group, member index, setup, resolved plan, post).
+    #: Per candidate: (group, member, setup, resolved plan, post, scenario).
     prep: List[Optional[Tuple]] = [None] * len(resolved_plans)
     with tracer.phase("batch.prepare") if tracer else nullcontext():
         for i, rp in enumerate(resolved_plans):
@@ -804,21 +826,28 @@ def simulate_resolved_batch(
                     if rp.stage == "ge2val"
                     else 0.0
                 )
-                prep[i] = (group, member, setup, rp, post)
+                # Trivial scenarios (no heterogeneity, no faults, no noise)
+                # replay through the batched loop bit-identically; only the
+                # name survives, to label the result like execute() does.
+                scen = getattr(rp, "scenario", None)
+                if scen is not None and scen.is_trivial:
+                    scen = None
+                scen_name = getattr(getattr(rp, "scenario", None), "name", None)
+                prep[i] = (group, member, setup, rp, post, scen, scen_name)
             except Exception as exc:
                 outcomes[i].error = f"{type(exc).__name__}: {exc}"
                 outcomes[i].exception = exc
 
     # ---------------- bound: optimistic candidate costs, no event loop
-    can_prune = prune and objective in ("makespan", "gflops")
+    can_prune = prune and objective in ("makespan", "gflops", "robust-makespan")
     bound_cost: List[Optional[float]] = [None] * len(resolved_plans)
     if can_prune:
         for i, entry in enumerate(prep):
             if entry is None:
                 continue
-            group, member, setup, rp, post = entry
+            group, member, setup, rp, post, _scen, _scen_name = entry
             bound_time = float(group.lower_bounds()[member]) + post
-            if objective == "makespan":
+            if objective in ("makespan", "robust-makespan"):
                 bound_cost[i] = bound_time
             else:  # gflops is maximized: cost is the negated score
                 if rp.stage == "ge2val":
@@ -837,7 +866,7 @@ def simulate_resolved_batch(
     best_cost = float("inf")
     with tracer.phase("batch.simulate") if tracer else nullcontext():
         for i in order:
-            group, member, setup, rp, post = prep[i]
+            group, member, setup, rp, post, scen, scen_name = prep[i]
             bc = bound_cost[i]
             # Strictly-worse only, with a relative-epsilon slack so float
             # noise in the bound arithmetic can never prune a tied winner.
@@ -850,14 +879,39 @@ def simulate_resolved_batch(
                 REGISTRY.inc("engine.memo.batch.pruned")
                 continue
             try:
-                schedule = group.schedule(member)
-                result = _ge2bnd_result(
-                    setup,
-                    rp.machine,
-                    schedule,
-                    policy=rp.plan.policy,
-                    network=rp.plan.network,
-                )
+                if scen is not None:
+                    run = run_scenario(
+                        setup.program,
+                        rp.machine,
+                        scen,
+                        setup.distribution,
+                        policy=rp.plan.policy,
+                        network=rp.plan.network,
+                        draws=getattr(rp, "draws", None),
+                        seed=rp.plan.seed,
+                    )
+                    result = replace(
+                        _ge2bnd_result(
+                            setup,
+                            rp.machine,
+                            run.schedule,
+                            policy=rp.plan.policy,
+                            network=rp.plan.network,
+                        ),
+                        scenario=scen_name,
+                        distribution=run.distribution,
+                    )
+                else:
+                    schedule = group.schedule(member)
+                    result = _ge2bnd_result(
+                        setup,
+                        rp.machine,
+                        schedule,
+                        policy=rp.plan.policy,
+                        network=rp.plan.network,
+                    )
+                    if scen_name is not None:
+                        result = replace(result, scenario=scen_name)
                 if rp.stage == "ge2val":
                     result = _ge2val_result(result, rp.machine, rp.variant)
                 outcomes[i].result = result

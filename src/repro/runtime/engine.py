@@ -427,12 +427,27 @@ class SimulationEngine:
         # so traced and untraced replays execute identical instructions
         # and schedules are bit-identical by construction.
         tracer = current_tracer()
-        runner = self._run_fast if self.fast else self._run_legacy
-        if tracer is None:
-            schedule = runner(program, node_of_op)
+        if self.machine.heterogeneous:
+            # Heterogeneous machines are priced by the scenario replay
+            # layer (per-node/per-core slowdown factors over the nominal
+            # duration vector); imported lazily so the homogeneous hot
+            # path stays untouched.  Replays record a phase span but no
+            # per-task trace events.
+            from repro.runtime.scenario import ScenarioReplayer
+
+            replayer = ScenarioReplayer(self, program, node_of_op=node_of_op)
+            if tracer is None:
+                schedule = replayer.replay()
+            else:
+                with tracer.phase("simulate"):
+                    schedule = replayer.replay()
         else:
-            with tracer.phase("simulate"):
-                schedule = runner(program, node_of_op, tracer)
+            runner = self._run_fast if self.fast else self._run_legacy
+            if tracer is None:
+                schedule = runner(program, node_of_op)
+            else:
+                with tracer.phase("simulate"):
+                    schedule = runner(program, node_of_op, tracer)
         # Opt-in static verification on exit (REPRO_VERIFY=1): sanitize the
         # schedule's feasibility before handing it to the caller.
         from repro.verify.hooks import verify_enabled

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -64,6 +64,16 @@ class Machine:
         calibration value (the paper's ``ib = 32``).  Only affects kernel
         efficiencies (see
         :func:`repro.kernels.costs.inner_block_efficiency_factor`).
+    node_slowdowns, core_slowdowns:
+        Optional speed heterogeneity: a factor ``>= 1.0`` per node /
+        per core (``1.25`` = 25% slower), of length exactly ``n_nodes`` /
+        ``cores_per_node``; ``None`` (the default) is the homogeneous
+        machine.  Kernel-duration *tables* stay nominal — the factors are
+        applied by the scenario replay layer
+        (:mod:`repro.runtime.scenario`), which the engine routes
+        heterogeneous machines through automatically.  Build these from a
+        named pattern with :meth:`repro.runtime.scenario.Scenario.
+        apply_to_machine` rather than by hand.
     """
 
     n_nodes: int = 1
@@ -71,6 +81,8 @@ class Machine:
     tile_size: int = 160
     preset: MachinePreset = MIRIEL
     inner_block: Optional[int] = None
+    node_slowdowns: Optional[Tuple[float, ...]] = None
+    core_slowdowns: Optional[Tuple[float, ...]] = None
 
     def __post_init__(self) -> None:
         if self.n_nodes < 1:
@@ -81,6 +93,53 @@ class Machine:
             raise ValueError("tile_size must be >= 1")
         if self.inner_block is not None and self.inner_block < 1:
             raise ValueError("inner_block must be >= 1")
+        for attr, count, what in (
+            ("node_slowdowns", self.n_nodes, "n_nodes"),
+            ("core_slowdowns", self.cores_per_node, "cores_per_node"),
+        ):
+            factors = getattr(self, attr)
+            if factors is None:
+                continue
+            factors = tuple(float(f) for f in factors)
+            if len(factors) != count:
+                raise ValueError(
+                    f"{attr} must have length {what}={count}, got {len(factors)}"
+                )
+            for f in factors:
+                if not np.isfinite(f) or f < 1.0:
+                    raise ValueError(
+                        f"{attr} entries must be finite and >= 1.0, got {f}"
+                    )
+            object.__setattr__(self, attr, factors)
+
+    # ------------------------------------------------------------------ #
+    # Heterogeneity
+    # ------------------------------------------------------------------ #
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether any node or core runs slower than nominal.
+
+        All-ones slowdown tuples count as homogeneous; the engine keeps
+        such machines on its fast path.
+        """
+        return bool(
+            (self.node_slowdowns and any(f != 1.0 for f in self.node_slowdowns))
+            or (self.core_slowdowns and any(f != 1.0 for f in self.core_slowdowns))
+        )
+
+    def node_factors(self) -> Optional[Tuple[float, ...]]:
+        """Per-node duration factors, or ``None`` when all nominal."""
+        ns = self.node_slowdowns
+        if ns is None or all(f == 1.0 for f in ns):
+            return None
+        return ns
+
+    def core_factors(self) -> Optional[Tuple[float, ...]]:
+        """Per-core duration factors, or ``None`` when all nominal."""
+        cs = self.core_slowdowns
+        if cs is None or all(f == 1.0 for f in cs):
+            return None
+        return cs
 
     # ------------------------------------------------------------------ #
     # Compute model
@@ -174,11 +233,21 @@ class Machine:
         )
 
     def with_nodes(self, n_nodes: int) -> "Machine":
-        """Copy of this machine with a different node count (scaling studies)."""
+        """Copy of this machine with a different node count (scaling studies).
+
+        Per-node slowdowns are cycled block-cyclically to the new node
+        count (the same expansion rule scenarios use); per-core slowdowns
+        carry over unchanged.
+        """
+        ns = self.node_slowdowns
+        if ns is not None:
+            ns = tuple(ns[i % len(ns)] for i in range(n_nodes))
         return Machine(
             n_nodes=n_nodes,
             cores_per_node=self.cores_per_node,
             tile_size=self.tile_size,
             preset=self.preset,
             inner_block=self.inner_block,
+            node_slowdowns=ns,
+            core_slowdowns=self.core_slowdowns,
         )

@@ -1,0 +1,771 @@
+"""Scenario simulation: heterogeneity, faults, and Monte-Carlo makespans.
+
+The deterministic engine answers "how fast is this plan on an ideal
+machine?".  A :class:`Scenario` asks the operational question instead:
+*how fast is it on a machine whose cores differ, fail, and straggle, over
+a noisy network?*  It bundles
+
+* **speed heterogeneity** — per-node and per-core slowdown patterns
+  applied to :class:`~repro.runtime.machine.Machine` (block-cyclically
+  cycled over the actual node/core counts, so one named scenario works on
+  any machine size);
+* a **fault model** (:mod:`repro.runtime.faults`) drawing per-op duration
+  factors: fail-stop re-execution, straggler slowdowns;
+* a **noise model** drawing per-message wire-time factors layered on any
+  network model (uniform or alpha-beta).
+
+Stochastic scenarios run in **Monte-Carlo mode**: all perturbation
+factors are sampled vectorized up front — one ``(n_draws, n_ops)`` matrix
+per model from a single seeded generator — and the engine's event loop is
+replayed once per draw over the perturbed structure-of-arrays duration
+vectors, producing a :class:`MakespanDistribution` (mean / p50 / p95 /
+CI) next to the nominal schedule.  The replay loops below replicate the
+engine's greedy disciplines *exactly* (stable ``(policy key, op id)``
+pops, greedy node round-robin, dispatch-order NIC serialization,
+pop-order ``busy`` accumulation), so a scenario whose every factor is
+``1.0`` reproduces :meth:`~repro.runtime.engine.SimulationEngine.run`
+bit for bit — the property the zero-perturbation tests pin.
+
+Two modeling decisions worth knowing:
+
+* **priorities are nominal.**  Policy rank keys are computed from the
+  unperturbed duration vector: the scheduler ranks ops by its *model* of
+  the machine and cannot foresee faults, exactly like a real list
+  scheduler.  This also keeps the engine's rank memo tables valid, so the
+  per-draw marginal cost is one event loop and nothing else.
+* **all factors are >= 1.**  Slowdowns, fault factors and noise factors
+  only ever delay; the nominal analytic lower bound therefore bounds
+  every draw, which keeps batch pruning sound for ``robust-makespan``.
+
+Observability: every Monte-Carlo run reports ``engine.mc.draws`` /
+``engine.mc.runs`` counters and an ``engine.mc.fault_events`` per-draw
+histogram into :data:`repro.obs.metrics.REGISTRY`.  Under
+``REPRO_VERIFY=1`` the nominal schedule — and the first draw of a
+noise-free stochastic scenario — is re-checked by the static verifier
+with the realized durations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.ir.program import Program
+from repro.obs.metrics import REGISTRY
+from repro.runtime.faults import (
+    FailStopFaults,
+    FaultModel,
+    LinkJitterNoise,
+    NoFaults,
+    NoiseModel,
+    NoNoise,
+    StragglerFaults,
+    get_fault_model,
+    get_noise_model,
+)
+from repro.runtime.machine import Machine
+from repro.runtime.scheduler import Schedule
+
+__all__ = [
+    "SCENARIOS",
+    "MakespanDistribution",
+    "Scenario",
+    "ScenarioReplayer",
+    "ScenarioRun",
+    "available_scenarios",
+    "get_scenario",
+    "run_scenario",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Makespan distributions
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MakespanDistribution:
+    """Summary of the makespans of one Monte-Carlo scenario run.
+
+    Quantiles use numpy's default linear interpolation; ``ci95_low`` /
+    ``ci95_high`` is the normal-approximation 95% confidence interval on
+    the *mean* (±1.96 standard errors).  The raw per-draw makespans ride
+    along (``makespans``, draw order = sampling order) so callers can
+    compute any other statistic without re-simulating; two distributions
+    are equal iff every draw agrees bitwise, which is what the seeded
+    determinism tests compare.
+    """
+
+    n_draws: int
+    seed: int
+    mean: float
+    std: float
+    p5: float
+    p50: float
+    p95: float
+    ci95_low: float
+    ci95_high: float
+    min: float
+    max: float
+    makespans: Tuple[float, ...] = field(repr=False)
+
+    @classmethod
+    def from_makespans(
+        cls, makespans: Sequence[float], seed: int
+    ) -> "MakespanDistribution":
+        arr = np.asarray(makespans, dtype=np.float64)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("from_makespans needs a non-empty 1-D sequence")
+        n = int(arr.size)
+        mean = float(arr.mean())
+        std = float(arr.std(ddof=1)) if n > 1 else 0.0
+        half = 1.96 * std / math.sqrt(n)
+        p5, p50, p95 = (float(x) for x in np.quantile(arr, (0.05, 0.5, 0.95)))
+        return cls(
+            n_draws=n,
+            seed=int(seed),
+            mean=mean,
+            std=std,
+            p5=p5,
+            p50=p50,
+            p95=p95,
+            ci95_low=mean - half,
+            ci95_high=mean + half,
+            min=float(arr.min()),
+            max=float(arr.max()),
+            makespans=tuple(arr.tolist()),
+        )
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile of the draw makespans (linear interpolation)."""
+        return float(np.quantile(np.asarray(self.makespans), q))
+
+    def shifted(self, delta: float) -> "MakespanDistribution":
+        """This distribution translated by a deterministic ``delta`` seconds.
+
+        Used to stack the (deterministic, single-node) GE2VAL
+        post-processing stages onto a GE2BND distribution: every location
+        statistic shifts, the spread statistics do not.
+        """
+        return replace(
+            self,
+            mean=self.mean + delta,
+            p5=self.p5 + delta,
+            p50=self.p50 + delta,
+            p95=self.p95 + delta,
+            ci95_low=self.ci95_low + delta,
+            ci95_high=self.ci95_high + delta,
+            min=self.min + delta,
+            max=self.max + delta,
+            makespans=tuple(m + delta for m in self.makespans),
+        )
+
+    def to_row(self) -> Dict[str, float]:
+        """Scalar summary for result tables (raw draws excluded)."""
+        return {
+            "mc_draws": self.n_draws,
+            "mc_mean": self.mean,
+            "mc_std": self.std,
+            "mc_p50": self.p50,
+            "mc_p95": self.p95,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Scenarios
+# --------------------------------------------------------------------------- #
+def _cycle(pattern: Tuple[float, ...], count: int) -> Optional[Tuple[float, ...]]:
+    """Expand a slowdown pattern block-cyclically to ``count`` entries.
+
+    Returns ``None`` when the expansion is a no-op (empty or all-ones
+    pattern), so homogeneous machines keep ``slowdowns=None`` and stay on
+    the engine fast path.
+    """
+    if not pattern or all(f == 1.0 for f in pattern):
+        return None
+    return tuple(pattern[i % len(pattern)] for i in range(count))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named machine-realism configuration.
+
+    Parameters
+    ----------
+    name:
+        Registry / display name (also what result rows report).
+    description:
+        One-line summary for ``repro scenarios``.
+    node_slowdowns, core_slowdowns:
+        Relative speed patterns (``1.0`` = nominal, ``1.25`` = 25%
+        slower), cycled block-cyclically over the machine's actual node /
+        core count by :meth:`apply_to_machine` — node ``i`` gets
+        ``node_slowdowns[i % len]``.  Every factor must be ``>= 1.0``.
+    faults, noise:
+        Fault / noise model instances or registry names (see
+        :mod:`repro.runtime.faults`).
+    draws:
+        Default Monte-Carlo draw count when the caller does not pass one.
+    """
+
+    name: str
+    description: str = ""
+    node_slowdowns: Tuple[float, ...] = ()
+    core_slowdowns: Tuple[float, ...] = ()
+    faults: Union[str, FaultModel] = NoFaults()
+    noise: Union[str, NoiseModel] = NoNoise()
+    draws: int = 64
+
+    def __post_init__(self) -> None:
+        for attr in ("node_slowdowns", "core_slowdowns"):
+            factors = tuple(float(f) for f in getattr(self, attr))
+            for f in factors:
+                if not np.isfinite(f) or f < 1.0:
+                    raise ValueError(
+                        f"{attr} entries must be finite and >= 1.0 "
+                        f"(slowdowns only ever slow a core down), got {f}"
+                    )
+            object.__setattr__(self, attr, factors)
+        object.__setattr__(self, "faults", get_fault_model(self.faults))
+        object.__setattr__(self, "noise", get_noise_model(self.noise))
+        if self.draws < 1:
+            raise ValueError(f"draws must be >= 1, got {self.draws}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def heterogeneous(self) -> bool:
+        """Whether any node/core runs slower than nominal."""
+        return any(f != 1.0 for f in self.node_slowdowns + self.core_slowdowns)
+
+    @property
+    def stochastic(self) -> bool:
+        """Whether Monte-Carlo draws can differ from the nominal run."""
+        return not (self.faults.deterministic and self.noise.deterministic)
+
+    @property
+    def is_trivial(self) -> bool:
+        """Whether this scenario is exactly the ideal deterministic world."""
+        return not self.heterogeneous and not self.stochastic
+
+    def fingerprint(self) -> Tuple:
+        """Hashable identity (tuning cache keys, dedup)."""
+        return (
+            self.name,
+            self.node_slowdowns,
+            self.core_slowdowns,
+            self.faults.spec(),
+            self.noise.spec(),
+        )
+
+    def apply_to_machine(self, machine: Machine) -> Machine:
+        """``machine`` with this scenario's slowdown patterns expanded.
+
+        Homogeneous scenarios return ``machine`` unchanged (same object),
+        so the zero-perturbation path keeps its memo-table keys.
+        """
+        if not self.heterogeneous:
+            return machine
+        return replace(
+            machine,
+            node_slowdowns=_cycle(self.node_slowdowns, machine.n_nodes),
+            core_slowdowns=_cycle(self.core_slowdowns, machine.cores_per_node),
+        )
+
+
+#: Name -> scenario.  Extend via plain dict assignment (tests do).
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            name="none",
+            description="ideal machine: homogeneous, fault-free, noiseless",
+        ),
+        Scenario(
+            name="hetero",
+            description="every other node runs 25% slower",
+            node_slowdowns=(1.0, 1.25),
+        ),
+        Scenario(
+            name="slow-core",
+            description="one core in four runs 50% slower",
+            core_slowdowns=(1.5, 1.0, 1.0, 1.0),
+        ),
+        Scenario(
+            name="fail-stop",
+            description="2% fail-stop op failures with full re-execution",
+            faults=FailStopFaults(prob=0.02, rework=1.0),
+            draws=128,
+        ),
+        Scenario(
+            name="straggler",
+            description="5% straggler ops at 1 + Exp(0.5) x nominal",
+            faults=StragglerFaults(prob=0.05, scale=0.5),
+            draws=128,
+        ),
+        Scenario(
+            name="noisy-net",
+            description="link jitter: wire times stretch by exp(0.25 |N|)",
+            noise=LinkJitterNoise(sigma=0.25),
+            draws=128,
+        ),
+        Scenario(
+            name="hostile",
+            description="slow nodes + slow cores + fail-stop faults + jitter",
+            node_slowdowns=(1.0, 1.25),
+            core_slowdowns=(1.5, 1.0, 1.0, 1.0),
+            faults=FailStopFaults(prob=0.02, rework=1.0),
+            noise=LinkJitterNoise(sigma=0.25),
+            draws=128,
+        ),
+    )
+}
+
+
+def get_scenario(scenario: Union[str, Scenario, None]) -> Optional[Scenario]:
+    """Coerce a name / instance / None to a :class:`Scenario` (or None)."""
+    if scenario is None or isinstance(scenario, Scenario):
+        return scenario
+    try:
+        return SCENARIOS[str(scenario).strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; available: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def available_scenarios() -> List[Tuple[str, str]]:
+    """``(name, description)`` pairs, sorted by name (for the CLI listing)."""
+    return [(name, SCENARIOS[name].description) for name in sorted(SCENARIOS)]
+
+
+# --------------------------------------------------------------------------- #
+# The perturbed replay loop
+# --------------------------------------------------------------------------- #
+class ScenarioReplayer:
+    """Replay one (program, engine configuration) under perturbations.
+
+    Construction hoists everything draw-invariant — nominal durations,
+    owner vector, *nominal* policy rank keys (through the engine's module
+    memo tables, shared with plain runs), CSR successor lists, message
+    pricing — so each :meth:`replay` call costs one event loop.
+
+    The loops replicate :meth:`SimulationEngine._run_fast` exactly; with
+    unit factors they produce bit-identical schedules (multiplying a
+    finite positive duration by ``1.0`` is an exact float identity, and
+    the pop/tie disciplines are the same code shape).
+    """
+
+    def __init__(
+        self,
+        engine,
+        program: Program,
+        *,
+        node_of_op: Optional[Sequence[int]] = None,
+    ) -> None:
+        machine = engine.machine
+        self.engine = engine
+        self.program = program
+        self.machine = machine
+        self.network = engine.network
+        self.n = n = len(program)
+        self.n_nodes = machine.n_nodes
+        self.cores = machine.cores_per_node
+
+        durations_np = engine.duration_vector(program)
+        if node_of_op is None:
+            node_np = engine.owner_vector(program)
+            cacheable = True
+        else:
+            node_np = np.ascontiguousarray(node_of_op, dtype=np.int64)
+            if self.n_nodes == 1:
+                node_np = None
+            cacheable = False
+        # Rank keys from the *nominal* durations: the policy ranks ops by
+        # its model of the machine — it cannot foresee faults — which is
+        # also what lets every draw share one memoized order.
+        keys = engine.rank_keys(program, durations_np, node_np, cacheable=cacheable)
+        self.entry_of = list(zip(keys, range(n)))
+        self.node_np = node_np
+        self.node_of = node_np.tolist() if node_np is not None else None
+
+        # Fold node slowdowns into the base duration vector (owner nodes
+        # are fixed per op); core slowdowns apply at pop time, when the
+        # core is chosen.
+        node_factors = machine.node_factors()
+        if node_factors is not None:
+            nf = np.asarray(node_factors, dtype=np.float64)
+            if node_np is not None:
+                durations_np = durations_np * nf[node_np]
+            else:
+                durations_np = durations_np * nf[0]
+        self.base_durations_np = durations_np
+        core_factors = machine.core_factors()
+        self.core_factors: Optional[List[float]] = (
+            list(core_factors) if core_factors is not None else None
+        )
+
+        self.succ_indptr, self.succ_ids = program.succ_csr_lists()
+        self.indegree_base: List[int] = np.diff(program.pred_indptr_np).tolist()
+        self.init_ready = [
+            op_id for op_id, deg in enumerate(self.indegree_base) if deg == 0
+        ]
+        self.msg_bytes: Optional[List[int]] = None
+        if self.n_nodes > 1 and self.network.event_driven:
+            from repro.runtime.network import resolved_message_bytes_vector
+
+            self.msg_bytes = resolved_message_bytes_vector(
+                self.network, program, machine
+            ).tolist()
+
+    # ------------------------------------------------------------------ #
+    def realized_durations_np(
+        self, fault_row: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Per-op durations of one draw, before core factors."""
+        if fault_row is None:
+            return self.base_durations_np
+        return self.base_durations_np * fault_row
+
+    def effective_durations(
+        self,
+        fault_row: Optional[np.ndarray],
+        core_of_task: Sequence[int],
+    ) -> List[float]:
+        """The exact durations a draw's schedule realized, per op.
+
+        Reproduces the replay's multiplication chain (base × fault ×
+        core factor) in the same order, so the static verifier's bitwise
+        ``finish == start + duration`` check holds on perturbed draws.
+        """
+        realized = self.realized_durations_np(fault_row)
+        cf = self.core_factors
+        if cf is not None:
+            realized = realized * np.asarray(cf, dtype=np.float64)[
+                np.asarray(core_of_task, dtype=np.int64)
+            ]
+        return realized.tolist()
+
+    # ------------------------------------------------------------------ #
+    def replay(
+        self,
+        fault_row: Optional[np.ndarray] = None,
+        noise_row: Optional[np.ndarray] = None,
+    ) -> Schedule:
+        """One event-loop pass under the given perturbation factors.
+
+        ``fault_row`` multiplies op durations, ``noise_row`` multiplies
+        per-message wire times (both per-op vectors, or ``None`` for
+        nominal).  Replays record no traces — use a plain engine run for
+        Gantt/trace exports.
+        """
+        if self.n == 0:
+            n_nodes = self.n_nodes
+            return Schedule(
+                0.0, [], [], [], [0.0] * n_nodes, 0, 0,
+                core_of_task=[],
+                comm_time_per_node=[0.0] * n_nodes,
+                messages_per_node=[0] * n_nodes,
+            )
+        durations = self.realized_durations_np(fault_row).tolist()
+        noise = noise_row.tolist() if noise_row is not None else None
+        if self.node_of is None:
+            return self._replay_single(durations)
+        return self._replay_multi(durations, noise)
+
+    def _replay_single(self, durations: List[float]) -> Schedule:
+        n = self.n
+        entry_of = self.entry_of
+        succ_indptr, succ_ids = self.succ_indptr, self.succ_ids
+        indegree = self.indegree_base.copy()
+        ready_time = [0.0] * n
+        start = [0.0] * n
+        finish = [0.0] * n
+        core_of_op = [0] * n
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        cf = self.core_factors
+        core_heap = [(0.0, c) for c in range(self.cores)]  # already a heap
+        ready = []
+        for op_id in self.init_ready:
+            heappush(ready, entry_of[op_id])
+        busy = 0.0
+        scheduled = 0
+        while ready:
+            _, op_id = heappop(ready)
+            core_free, core_idx = heappop(core_heap)
+            rt = ready_time[op_id]
+            t_start = core_free if core_free > rt else rt
+            d = durations[op_id]
+            if cf is not None:
+                d = d * cf[core_idx]
+            t_finish = t_start + d
+            start[op_id] = t_start
+            finish[op_id] = t_finish
+            core_of_op[op_id] = core_idx
+            busy += d
+            heappush(core_heap, (t_finish, core_idx))
+            scheduled += 1
+            for k in range(succ_indptr[op_id], succ_indptr[op_id + 1]):
+                succ = succ_ids[k]
+                if t_finish > ready_time[succ]:
+                    ready_time[succ] = t_finish
+                deg = indegree[succ] - 1
+                indegree[succ] = deg
+                if deg == 0:
+                    heappush(ready, entry_of[succ])
+        if scheduled < n:  # pragma: no cover - defensive (cycle)
+            raise RuntimeError("engine stalled: the program has a cycle")
+        return Schedule(
+            makespan=max(finish),
+            start=start,
+            finish=finish,
+            node_of_task=[0] * n,
+            busy_time_per_node=[busy],
+            messages=0,
+            comm_bytes=0,
+            core_of_task=core_of_op,
+            comm_time_per_node=[0.0],
+            messages_per_node=[0],
+        )
+
+    def _replay_multi(
+        self, durations: List[float], noise: Optional[List[float]]
+    ) -> Schedule:
+        n = self.n
+        machine = self.machine
+        network = self.network
+        n_nodes = self.n_nodes
+        entry_of = self.entry_of
+        node_of = self.node_of
+        succ_indptr, succ_ids = self.succ_indptr, self.succ_ids
+        indegree = self.indegree_base.copy()
+        ready_time = [0.0] * n
+        start = [0.0] * n
+        finish = [0.0] * n
+        core_of_op = [0] * n
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        cf = self.core_factors
+
+        busy = [0.0] * n_nodes
+        messages = 0
+        comm_bytes = 0
+        sent = [0] * n_nodes
+        comm_time = [0.0] * n_nodes
+        event_driven = network.event_driven
+        transfer = machine.transfer_time()
+        handshake = network.handshake_seconds(machine)
+        msg_bytes = self.msg_bytes
+        msg_cost_cache: Dict[int, Tuple[float, float]] = {}
+        seen_transfers: set = set()
+        transfer_arrival: Dict[Tuple[int, int], float] = {}
+        nic_free = [0.0] * n_nodes
+
+        core_heaps: List[List[Tuple[float, int]]] = [
+            [(0.0, c) for c in range(self.cores)] for _ in range(n_nodes)
+        ]
+        ready_heaps: List[List[Tuple[object, int]]] = [[] for _ in range(n_nodes)]
+        for op_id in self.init_ready:
+            heappush(ready_heaps[node_of[op_id]], entry_of[op_id])
+
+        scheduled = 0
+        while scheduled < n:
+            progressed = False
+            for node in range(n_nodes):
+                heap = ready_heaps[node]
+                core_heap = core_heaps[node]
+                while heap:
+                    _, op_id = heappop(heap)
+                    core_free, core_idx = heappop(core_heap)
+                    rt = ready_time[op_id]
+                    t_start = core_free if core_free > rt else rt
+                    d = durations[op_id]
+                    if cf is not None:
+                        d = d * cf[core_idx]
+                    t_finish = t_start + d
+                    start[op_id] = t_start
+                    finish[op_id] = t_finish
+                    core_of_op[op_id] = core_idx
+                    busy[node] += d
+                    heappush(core_heap, (t_finish, core_idx))
+                    scheduled += 1
+                    progressed = True
+                    for k in range(succ_indptr[op_id], succ_indptr[op_id + 1]):
+                        succ = succ_ids[k]
+                        dst = node_of[succ]
+                        arrival = t_finish
+                        if dst != node:
+                            tkey = (op_id, dst)
+                            if event_driven:
+                                cached = transfer_arrival.get(tkey)
+                                if cached is None:
+                                    n_bytes = msg_bytes[op_id]
+                                    cost = msg_cost_cache.get(n_bytes)
+                                    if cost is None:
+                                        cost = (
+                                            machine.injection_seconds(n_bytes),
+                                            network.message_seconds(
+                                                n_bytes, machine
+                                            ),
+                                        )
+                                        msg_cost_cache[n_bytes] = cost
+                                    injection, wire = cost
+                                    if noise is not None:
+                                        # Noise stretches the wire, not the
+                                        # sender's NIC occupancy.
+                                        wire = wire * noise[op_id]
+                                    inject_start = t_finish + handshake
+                                    if nic_free[node] > inject_start:
+                                        inject_start = nic_free[node]
+                                    nic_free[node] = inject_start + injection
+                                    cached = inject_start + wire
+                                    transfer_arrival[tkey] = cached
+                                    messages += 1
+                                    comm_bytes += n_bytes
+                                    sent[node] += 1
+                                    comm_time[node] += injection
+                                arrival = cached
+                            else:
+                                hop = transfer
+                                if noise is not None:
+                                    hop = hop * noise[op_id]
+                                arrival += hop
+                                if tkey not in seen_transfers:
+                                    seen_transfers.add(tkey)
+                                    messages += 1
+                                    comm_bytes += machine.tile_bytes
+                                    sent[node] += 1
+                                    comm_time[node] += hop
+                        if arrival > ready_time[succ]:
+                            ready_time[succ] = arrival
+                        deg = indegree[succ] - 1
+                        indegree[succ] = deg
+                        if deg == 0:
+                            heappush(ready_heaps[dst], entry_of[succ])
+            if not progressed:  # pragma: no cover - defensive (cycle)
+                raise RuntimeError("engine stalled: the program has a cycle")
+
+        return Schedule(
+            makespan=max(finish),
+            start=start,
+            finish=finish,
+            node_of_task=list(node_of),
+            busy_time_per_node=busy,
+            messages=messages,
+            comm_bytes=comm_bytes,
+            core_of_task=core_of_op,
+            comm_time_per_node=comm_time,
+            messages_per_node=sent,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Monte-Carlo driver
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScenarioRun:
+    """Outcome of one scenario simulation.
+
+    ``schedule`` is the *nominal* replay (heterogeneity applied, no
+    stochastic perturbations) — the headline makespan; ``distribution``
+    summarizes the Monte-Carlo draws, or is ``None`` for deterministic
+    scenarios.
+    """
+
+    schedule: Schedule
+    distribution: Optional[MakespanDistribution] = None
+
+
+def run_scenario(
+    program: Program,
+    machine: Machine,
+    scenario: Scenario,
+    distribution=None,
+    *,
+    policy="list",
+    network="uniform",
+    draws: Optional[int] = None,
+    seed: int = 0,
+    node_of_op: Optional[Sequence[int]] = None,
+) -> ScenarioRun:
+    """Simulate ``program`` under ``scenario`` on (a perturbed) ``machine``.
+
+    ``machine`` is the nominal machine; the scenario's slowdown patterns
+    are applied here.  Deterministic scenarios return only the nominal
+    schedule; stochastic ones add a :class:`MakespanDistribution` over
+    ``draws`` Monte-Carlo draws (default: the scenario's own ``draws``)
+    seeded by ``seed`` — fault factors are sampled before noise factors,
+    always, so a seed identifies its draws regardless of engine path or
+    hash seed.
+    """
+    from repro.runtime.engine import SimulationEngine
+
+    eff_machine = scenario.apply_to_machine(machine)
+    engine = SimulationEngine(
+        eff_machine, distribution, policy=policy, network=network
+    )
+    replayer = ScenarioReplayer(engine, program, node_of_op=node_of_op)
+    nominal = replayer.replay()
+    _maybe_verify(replayer, nominal, fault_row=None)
+    if not scenario.stochastic:
+        return ScenarioRun(schedule=nominal)
+
+    n_draws = int(draws) if draws is not None else scenario.draws
+    if n_draws < 1:
+        raise ValueError(f"draws must be >= 1, got {n_draws}")
+    n = len(program)
+    rng = np.random.default_rng(seed)
+    # Fixed sampling order: faults first, then noise (each model consumes
+    # a configuration-determined amount of the stream).
+    fault_factors, fault_events = scenario.faults.sample(rng, n_draws, n)
+    noise_factors = scenario.noise.sample(rng, n_draws, n)
+    fault_trivial = scenario.faults.deterministic
+    noise_trivial = scenario.noise.deterministic
+
+    makespans: List[float] = []
+    verified = False
+    for i in range(n_draws):
+        fault_row = None if fault_trivial else fault_factors[i]
+        noise_row = None if noise_trivial else noise_factors[i]
+        sched = replayer.replay(fault_row, noise_row)
+        if not verified and noise_trivial:
+            # One perturbed draw through the static verifier (the noise
+            # models reprice wires in ways the verifier's exact network
+            # arithmetic cannot re-derive, so noisy draws are skipped).
+            _maybe_verify(replayer, sched, fault_row=fault_row)
+            verified = True
+        makespans.append(sched.makespan)
+    REGISTRY.inc("engine.mc.runs")
+    REGISTRY.inc("engine.mc.draws", n_draws)
+    for events in fault_events.tolist():
+        REGISTRY.observe("engine.mc.fault_events", events)
+    return ScenarioRun(
+        schedule=nominal,
+        distribution=MakespanDistribution.from_makespans(makespans, seed),
+    )
+
+
+def _maybe_verify(
+    replayer: ScenarioReplayer,
+    schedule: Schedule,
+    *,
+    fault_row: Optional[np.ndarray],
+) -> None:
+    """Re-check one replay under ``REPRO_VERIFY=1`` with realized durations."""
+    from repro.verify.hooks import verify_enabled
+
+    if not verify_enabled():
+        return
+    from repro.verify.hooks import check_schedule
+
+    engine = replayer.engine
+    check_schedule(
+        schedule,
+        replayer.program,
+        engine.machine,
+        distribution=engine.distribution,
+        network=engine.network,
+        durations=replayer.effective_durations(fault_row, schedule.core_of_task),
+    )

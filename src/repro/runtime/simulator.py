@@ -17,7 +17,7 @@ distributed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
 from repro.dag.task import TaskGraph
@@ -33,6 +33,12 @@ from repro.runtime.machine import Machine
 from repro.runtime.engine import SimulationEngine
 from repro.runtime.network import NetworkModel
 from repro.runtime.policies import SchedulingPolicy
+from repro.runtime.scenario import (
+    MakespanDistribution,
+    Scenario,
+    get_scenario,
+    run_scenario,
+)
 from repro.runtime.scheduler import Schedule
 from repro.tiles.distribution import BlockCyclicDistribution, ProcessGrid
 from repro.tiles.layout import ceil_div
@@ -73,6 +79,15 @@ class SimulationResult:
     #: utilization without re-simulating.  Excluded from equality/repr —
     #: two results are the same outcome if their scalars agree.
     schedule: Optional[Schedule] = field(default=None, compare=False, repr=False)
+    #: Scenario name the run was simulated under, or ``None`` for the
+    #: default (ideal-machine) path.
+    scenario: Optional[str] = None
+    #: Monte-Carlo makespan distribution for stochastic scenarios (the
+    #: headline ``time_seconds`` stays the nominal replay).  Excluded from
+    #: equality — compare ``.distribution`` directly in determinism tests.
+    distribution: Optional[MakespanDistribution] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __str__(self) -> str:  # pragma: no cover - human-readable report
         return (
@@ -262,6 +277,14 @@ def _ge2val_result(
         network=base.network,
         comm_seconds=base.comm_seconds,
         schedule=base.schedule,
+        scenario=base.scenario,
+        # The post stages are deterministic and single-node, so the whole
+        # GE2BND distribution translates by the post time.
+        distribution=(
+            base.distribution.shifted(post)
+            if base.distribution is not None
+            else None
+        ),
     )
 
 
@@ -275,6 +298,9 @@ def simulate_ge2bnd(
     grid: Optional[ProcessGrid] = None,
     policy: Union[str, SchedulingPolicy] = "list",
     network: Union[str, NetworkModel] = "uniform",
+    scenario: Union[str, Scenario, None] = None,
+    draws: Optional[int] = None,
+    seed: int = 0,
 ) -> SimulationResult:
     """Simulate the GE2BND stage for an ``m x n`` matrix.
 
@@ -301,14 +327,46 @@ def simulate_ge2bnd(
         :class:`~repro.runtime.network.NetworkModel`; default the legacy
         ``"uniform"`` flat-cost model, ``"alpha-beta"`` for the
         message-level model of :mod:`repro.runtime.network`).
+    scenario:
+        Machine-realism scenario (name or
+        :class:`~repro.runtime.scenario.Scenario`; ``None`` for the ideal
+        deterministic machine).  Stochastic scenarios attach a
+        :class:`~repro.runtime.scenario.MakespanDistribution` over
+        ``draws`` Monte-Carlo draws seeded by ``seed``; ``time_seconds``
+        stays the nominal (heterogeneity-only) replay.
+    draws, seed:
+        Monte-Carlo draw count (``None`` = the scenario's default) and
+        rng seed; ignored without a stochastic scenario.
     """
     setup = _ge2bnd_setup(
         m, n, machine, tree=tree, algorithm=algorithm, grid=grid
     )
-    schedule = simulate_graph(
-        setup.program, machine, setup.distribution, policy=policy, network=network
+    scen = get_scenario(scenario)
+    if scen is None or scen.is_trivial:
+        # The no-scenario path (and the explicit "none" scenario) is the
+        # plain engine run — bit-identical to what it always produced.
+        schedule = simulate_graph(
+            setup.program, machine, setup.distribution, policy=policy,
+            network=network,
+        )
+        result = _ge2bnd_result(
+            setup, machine, schedule, policy=policy, network=network
+        )
+        return replace(result, scenario=scen.name) if scen is not None else result
+    run = run_scenario(
+        setup.program,
+        machine,
+        scen,
+        setup.distribution,
+        policy=policy,
+        network=network,
+        draws=draws,
+        seed=seed,
     )
-    return _ge2bnd_result(setup, machine, schedule, policy=policy, network=network)
+    result = _ge2bnd_result(
+        setup, machine, run.schedule, policy=policy, network=network
+    )
+    return replace(result, scenario=scen.name, distribution=run.distribution)
 
 
 def post_processing_seconds(n: int, machine: Machine) -> float:
@@ -338,6 +396,9 @@ def simulate_ge2val(
     grid: Optional[ProcessGrid] = None,
     policy: Union[str, SchedulingPolicy] = "list",
     network: Union[str, NetworkModel] = "uniform",
+    scenario: Union[str, Scenario, None] = None,
+    draws: Optional[int] = None,
+    seed: int = 0,
 ) -> SimulationResult:
     """Simulate the full GE2VAL pipeline (GE2BND + BND2BD + BD2VAL).
 
@@ -345,6 +406,8 @@ def simulate_ge2val(
     square-ish matrices, R-BIDIAG when ``m >= 5n/3``.  The BND2BD and BD2VAL
     stages are charged on a single node (they are not distributed in the
     paper either), which is what caps the distributed GE2VAL scaling.
+    Scenario handling matches :func:`simulate_ge2bnd`; the deterministic
+    post stages shift the Monte-Carlo distribution without widening it.
     """
     if algorithm == "auto":
         from repro.api.resolver import resolve_variant
@@ -352,6 +415,7 @@ def simulate_ge2val(
         algorithm = resolve_variant(algorithm, m, n)
     base = simulate_ge2bnd(
         m, n, machine, tree=tree, algorithm=algorithm, grid=grid,
-        policy=policy, network=network,
+        policy=policy, network=network, scenario=scenario, draws=draws,
+        seed=seed,
     )
     return _ge2val_result(base, machine, algorithm)

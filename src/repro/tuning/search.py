@@ -501,22 +501,28 @@ def _tune_cache_key(
     base: SvdPlan, space: SearchSpace, objective: Objective, strategy_name: str
 ) -> str:
     config = base.config if base.config is not None else default_config
-    return cache_key(
-        {
-            "m": base.m,
-            "n": base.n,
-            "stage": base.stage,
-            "machine": base.machine,
-            "n_nodes": base.n_nodes,
-            "n_cores": base.n_cores,
-            "policy": base.policy,
-            "network": base.network,
-            "auto_gamma": config.auto_gamma,
-            "objective": objective.name,
-            "strategy": strategy_name,
-            "space": space.fingerprint(base),
-        }
-    )
+    key = {
+        "m": base.m,
+        "n": base.n,
+        "stage": base.stage,
+        "machine": base.machine,
+        "n_nodes": base.n_nodes,
+        "n_cores": base.n_cores,
+        "policy": base.policy,
+        "network": base.network,
+        "auto_gamma": config.auto_gamma,
+        "objective": objective.name,
+        "strategy": strategy_name,
+        "space": space.fingerprint(base),
+    }
+    if base.scenario is not None:
+        # Scenario-aware scores depend on the perturbation models, the
+        # draw count and the Monte-Carlo seed; fold them in so cached
+        # robust-makespan answers never leak across scenarios.
+        key["scenario"] = repr(base.scenario.fingerprint())
+        key["draws"] = base.draws
+        key["mc_seed"] = base.seed
+    return cache_key(key)
 
 
 def tune(

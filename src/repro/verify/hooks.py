@@ -50,11 +50,13 @@ def check_schedule(
     distribution=None,
     network: Union[str, object] = "uniform",
     node_of_op: Optional[Sequence[int]] = None,
+    durations: Optional[Sequence[float]] = None,
 ) -> None:
     """Verify one engine Schedule; raise ``VerificationError`` on findings.
 
     Called by :meth:`repro.runtime.engine.SimulationEngine.run` on exit
-    when :func:`verify_enabled`.
+    when :func:`verify_enabled`; scenario replays pass ``durations`` (the
+    realized per-op durations of a perturbed draw).
     """
     from repro.verify.schedule import verify_schedule
 
@@ -65,4 +67,5 @@ def check_schedule(
         distribution=distribution,
         network=network,
         node_of_op=node_of_op,
+        durations=durations,
     ).raise_if_failed()

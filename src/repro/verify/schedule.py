@@ -87,13 +87,19 @@ def verify_schedule(
     distribution: Optional[BlockCyclicDistribution] = None,
     network: Union[str, NetworkModel] = "uniform",
     node_of_op: Optional[Sequence[int]] = None,
+    durations: Optional[Sequence[float]] = None,
 ) -> VerificationReport:
     """Statically verify one engine schedule; returns the finding report.
 
     ``distribution`` / ``network`` / ``node_of_op`` must name the same
     configuration the engine ran under (same defaulting rules as
-    :class:`~repro.runtime.engine.SimulationEngine`).  Never raises on a
-    defective schedule — every violated invariant becomes a finding.
+    :class:`~repro.runtime.engine.SimulationEngine`).  ``durations``
+    overrides the per-op durations the bitwise ``S-DURATION`` and
+    ``S-BUSY-TIME`` checks expect — scenario replays pass the realized
+    (fault-perturbed) durations of a draw; by default the nominal kernel
+    table is used, priced with the machine's heterogeneity factors when
+    present.  Never raises on a defective schedule — every violated
+    invariant becomes a finding.
     """
     net = get_network_model(network)
     n = len(program)
@@ -161,9 +167,36 @@ def verify_schedule(
         cols = program.owner_cols_np.tolist()
         expected_node = [distribution.owner(i, j) for i, j in zip(rows, cols)]
 
-    durations = machine.kernel_duration_table()[
-        program.kernel_codes_np
-    ].tolist()
+    if durations is None:
+        dur_np = machine.kernel_duration_table()[program.kernel_codes_np]
+        if machine.heterogeneous:
+            # Reprice with the slowdown factors in the scenario replay's
+            # exact multiplication order — (nominal * node factor) * core
+            # factor — so the bitwise S-DURATION check still holds.
+            import numpy as np
+
+            nf = machine.node_factors()
+            if nf is not None:
+                nf_np = np.asarray(nf, dtype=np.float64)
+                dur_np = dur_np * nf_np[
+                    np.asarray(schedule.node_of_task, dtype=np.int64)
+                ]
+            cf = machine.core_factors()
+            if cf is not None and schedule.core_of_task is not None:
+                cf_np = np.asarray(cf, dtype=np.float64)
+                dur_np = dur_np * cf_np[
+                    np.asarray(schedule.core_of_task, dtype=np.int64)
+                ]
+        durations = dur_np.tolist()
+    else:
+        durations = [float(d) for d in durations]
+        if len(durations) != n:
+            report.add(
+                S_SHAPE,
+                f"durations override has {len(durations)} entries, program "
+                f"has {n} ops",
+            )
+            return report
 
     # ------------------------------------------------------------------ #
     # Per-task checks: time range, exact duration, owner mapping, cores.

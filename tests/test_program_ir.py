@@ -344,6 +344,7 @@ class TestHashSeedIndependence:
         )
         return proc.stdout
 
+    @pytest.mark.slow
     def test_edge_stream_identical_across_hash_seeds(self):
         out0 = self._run("0")
         out1 = self._run("4242")

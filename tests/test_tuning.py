@@ -107,7 +107,8 @@ class TestSearchSpace:
 class TestObjectives:
     def test_registry_and_lookup(self):
         assert set(OBJECTIVES) == {
-            "makespan", "gflops", "critical-path", "comm-volume", "comm-time",
+            "makespan", "gflops", "robust-makespan", "critical-path",
+            "comm-volume", "comm-time",
         }
         assert get_objective("MAKESPAN").name == "makespan"
         obj = get_objective("gflops")
