@@ -1,0 +1,90 @@
+"""Aggregate a campaign store into tables and summaries.
+
+Thin, read-only views over :class:`~repro.campaign.store.ResultStore`:
+the completed result rows (already in the pinned
+:meth:`~repro.api.result.RunResult.to_row` schema) rendered through the
+existing :func:`repro.experiments.figures.format_rows` table writer, a
+per-status progress summary for ``repro campaign status``, and a
+quarantine report listing what failed beyond saving and why.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.campaign.store import CandidateRecord, ResultStore
+
+PathLike = Union[str, Path]
+
+#: Default columns of the campaign result table (a stable, readable
+#: subset of the full row schema; pass ``columns=None`` for everything).
+DEFAULT_COLUMNS = (
+    "m", "n", "tile_size", "variant", "tree", "grid", "n_cores",
+    "policy", "backend", "time_seconds", "gflops", "n_tasks",
+)
+
+
+def _open(store: Union[ResultStore, PathLike]) -> ResultStore:
+    return store if isinstance(store, ResultStore) else ResultStore(store)
+
+
+def campaign_rows(store: Union[ResultStore, PathLike]) -> List[Dict[str, object]]:
+    """The completed candidates' result rows, in expansion order."""
+    return _open(store).result_rows()
+
+
+def campaign_table(
+    store: Union[ResultStore, PathLike],
+    columns: Optional[Sequence[str]] = DEFAULT_COLUMNS,
+) -> str:
+    """The completed results as an aligned text table."""
+    from repro.experiments.figures import format_rows
+
+    rows = campaign_rows(store)
+    if not rows:
+        return "(no completed candidates)"
+    if columns is not None:
+        present = [c for c in columns if any(c in row for row in rows)]
+        columns = present or None
+    return format_rows(rows, columns=columns)
+
+
+def quarantine_report(store: Union[ResultStore, PathLike]) -> str:
+    """One line per quarantined candidate: id, attempts, last error."""
+    records: List[CandidateRecord] = _open(store).records("quarantined")
+    if not records:
+        return "(no quarantined candidates)"
+    lines = []
+    for rec in records:
+        error = (rec.error or "unknown error").splitlines()[0]
+        lines.append(
+            f"{rec.candidate_id}  attempts={rec.attempts}  {error}"
+        )
+    return "\n".join(lines)
+
+
+def status_summary(store: Union[ResultStore, PathLike]) -> str:
+    """Progress summary for ``repro campaign status``."""
+    st = _open(store)
+    counts = st.counts()
+    total = sum(counts.values())
+    done = counts.get("done", 0)
+    parts = [
+        f"{counts.get(key, 0)} {key}"
+        for key in ("pending", "running", "failed", "done", "quarantined")
+        if counts.get(key)
+    ]
+    pct = (100.0 * done / total) if total else 0.0
+    lines = [
+        f"store      : {st.path}",
+        f"candidates : {total} ({', '.join(parts) if parts else 'empty'})",
+        f"progress   : {done}/{total} done ({pct:.1f}%)",
+    ]
+    fingerprint = st.get_meta("spec_fingerprint")
+    if fingerprint:
+        lines.append(f"spec       : {fingerprint}")
+    last_run = st.get_meta("last_run")
+    if last_run:
+        lines.append(f"last run   : {last_run}")
+    return "\n".join(lines)

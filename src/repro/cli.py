@@ -25,6 +25,10 @@ without writing any Python:
 * ``verify``          — statically verify a compiled Program (dataflow
   oracle) and its engine Schedules (feasibility sanitizer) for one plan,
   optionally across every policy / network (see :mod:`repro.verify`);
+* ``campaign``        — fault-tolerant, resumable sweep campaigns
+  (``run`` / ``resume`` / ``status`` / ``report``) over a crash-consistent
+  result store (see :mod:`repro.campaign`); ``run`` exits 0 when complete,
+  1 with quarantined candidates, 3 when interrupted-but-resumable;
 * ``svd``             — compute singular values of a random or ``.npy`` matrix
   with the numeric tiled pipeline and compare against ``numpy.linalg.svd``.
 
@@ -257,6 +261,53 @@ def _build_parser() -> argparse.ArgumentParser:
                      choices=["drop-edge", "perturb-start", "swap-owner"],
                      help="inject one synthetic defect before verifying "
                           "(self-test: the command must exit nonzero)")
+
+    camp = sub.add_parser(
+        "campaign",
+        help="fault-tolerant, resumable sweep campaigns (see repro.campaign)",
+    )
+    csub = camp.add_subparsers(dest="campaign_command", required=True)
+    for name, chelp in (
+        ("run", "run a campaign from a spec file (resumes automatically)"),
+        ("resume", "resume an interrupted campaign (alias of run)"),
+    ):
+        crun = csub.add_parser(name, help=chelp)
+        crun.add_argument("spec", help="campaign spec file (.json or .toml)")
+        crun.add_argument(
+            "--store", help="result store path (default: campaign_<name>.sqlite)"
+        )
+        crun.add_argument("--workers", type=int, help="process fan-out width")
+        crun.add_argument(
+            "--max-attempts", type=int, help="retries before quarantine"
+        )
+        crun.add_argument(
+            "--timeout", type=float, help="per-candidate timeout in seconds"
+        )
+        crun.add_argument(
+            "--backoff", type=float, help="base retry backoff in seconds"
+        )
+        crun.add_argument(
+            "--chunk-size", type=int, help="candidates per worker task"
+        )
+        crun.add_argument(
+            "--requeue-quarantined",
+            action="store_true",
+            help="give quarantined candidates a fresh retry budget first",
+        )
+    cstatus = csub.add_parser("status", help="progress summary of a campaign store")
+    cstatus.add_argument("store", help="result store path")
+    creport = csub.add_parser(
+        "report", help="result table / quarantine report of a campaign store"
+    )
+    creport.add_argument("store", help="result store path")
+    creport.add_argument("--csv", help="write the result rows to this CSV file")
+    creport.add_argument("--json", help="write the result rows to this JSON file")
+    creport.add_argument(
+        "--all-columns", action="store_true", help="show every result column"
+    )
+    creport.add_argument(
+        "--quarantine", action="store_true", help="list quarantined candidates"
+    )
 
     svd = sub.add_parser("svd", help="singular values via the numeric tiled pipeline")
     svd.add_argument("--input", help=".npy file holding the matrix (random if omitted)")
@@ -751,6 +802,69 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignRunner,
+        CampaignSpec,
+        campaign_rows,
+        campaign_table,
+        quarantine_report,
+        status_summary,
+    )
+
+    command = args.campaign_command
+    if command == "status":
+        print(status_summary(args.store))
+        return 0
+    if command == "report":
+        if args.quarantine:
+            print(quarantine_report(args.store))
+            return 0
+        if args.all_columns:
+            print(campaign_table(args.store, columns=None))
+        else:
+            print(campaign_table(args.store))
+        rows = campaign_rows(args.store)
+        if args.csv:
+            from repro.utils.io import save_rows_csv
+
+            save_rows_csv(rows, args.csv)
+            print(f"wrote {len(rows)} rows to {args.csv}")
+        if args.json:
+            from repro.utils.io import save_rows_json
+
+            save_rows_json(rows, args.json)
+            print(f"wrote {len(rows)} rows to {args.json}")
+        return 0
+    # run / resume
+    try:
+        spec = CampaignSpec.from_file(args.spec)
+    except (OSError, ValueError) as exc:
+        return _user_error(f"campaign {command}", exc)
+    runner = CampaignRunner(
+        spec,
+        args.store,
+        workers=args.workers,
+        max_attempts=args.max_attempts,
+        timeout_seconds=args.timeout,
+        backoff_seconds=args.backoff,
+        chunk_size=args.chunk_size,
+        requeue_quarantined=args.requeue_quarantined,
+    )
+    try:
+        report = runner.run()
+    except ValueError as exc:  # e.g. spec fingerprint mismatch on the store
+        return _user_error(f"campaign {command}", exc)
+    finally:
+        runner.store.close()
+    print(report.summary())
+    if report.interrupted:
+        print("interrupted; resume with: repro campaign resume "
+              f"{args.spec}" + (f" --store {args.store}" if args.store else ""))
+        return 3
+    return 0 if report.complete else 1
+
+
 def _cmd_svd(args: argparse.Namespace) -> int:
     from repro.api import SvdPlan, execute
 
@@ -809,6 +923,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     if args.command == "svd":
         return _cmd_svd(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -525,3 +525,55 @@ def tuning_sweep(
             }
         )
     return rows
+
+
+def campaign_demo(
+    m: int = 1000,
+    n: int = 800,
+    tile_size: int = 100,
+    n_cores: int = 4,
+    workers: int = 2,
+    chunk_size: int = 1,
+    trees: Sequence[str] = ("flatts", "flattt", "greedy", "binary"),
+    policies: Sequence[str] = ("list", "fifo"),
+) -> List[Row]:
+    """Run a small sweep through the fault-tolerant campaign runner.
+
+    The registry's face of :mod:`repro.campaign`: the (tree, policy)
+    product executes as a resumable campaign — process-pool fan-out,
+    bounded retries, crash-consistent sqlite store — and the completed
+    result rows come back annotated with the campaign's bookkeeping
+    (candidate id, attempts charged).  Fault injection still applies when
+    ``REPRO_CAMPAIGN_FAULTS`` is set, so this doubles as a demo of a sweep
+    surviving injected crashes.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.campaign import CampaignSpec, CampaignRunner
+
+    if full_scale():
+        m, n, tile_size, n_cores = 20000, 20000, 160, 24
+    spec = CampaignSpec(
+        name="campaign-demo",
+        base={"m": m, "n": n, "tile_size": tile_size, "n_cores": n_cores},
+        axes={"tree": list(trees), "policy": list(policies)},
+        workers=workers,
+        chunk_size=chunk_size,
+        backoff_seconds=0.05,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tmp:
+        runner = CampaignRunner(spec, Path(tmp) / "store.sqlite")
+        try:
+            runner.run()
+            records = runner.store.records()
+        finally:
+            runner.store.close()
+    rows: List[Row] = []
+    for rec in records:
+        row: Row = dict(rec.row) if rec.row else {"error": rec.error}
+        row["candidate"] = rec.candidate_id
+        row["status"] = rec.status
+        row["attempts"] = rec.attempts
+        rows.append(row)
+    return rows

@@ -156,6 +156,12 @@ def _experiments() -> List[Experiment]:
             runner=figures.tuning_sweep,
         ),
         Experiment(
+            key="campaign",
+            paper_ref="Section VI (experimental campaign)",
+            description="Tree x policy sweep run through the fault-tolerant campaign runner",
+            runner=figures.campaign_demo,
+        ),
+        Experiment(
             key="plan-backend-matrix",
             paper_ref="Sections III-VI (plan API)",
             description="One SvdPlan through the numeric, dag and simulate backends",

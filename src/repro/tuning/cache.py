@@ -14,13 +14,19 @@ CI point it at a temporary file).  Delete the file — or run
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Iterator, Optional
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 #: Environment variable overriding the default cache location.
 CACHE_ENV_VAR = "REPRO_TUNE_CACHE"
@@ -48,8 +54,11 @@ class PlanCache:
 
     Records are plain dicts (the tuner stores the winning parameter
     overrides plus provenance).  Writes are atomic (temp file + rename) so
-    concurrent tuning runs cannot corrupt the file; a corrupt or
-    foreign-version file is treated as empty rather than raised on.
+    readers never see a torn file, and mutations run under an exclusive
+    ``fcntl`` lock on a sidecar file with a fresh read-merge-write cycle,
+    so concurrent tuning *processes* cannot lose each other's entries to
+    the read-modify-write race.  A corrupt or foreign-version file is
+    treated as empty rather than raised on.
     """
 
     def __init__(self, path: Optional[os.PathLike] = None) -> None:
@@ -59,9 +68,8 @@ class PlanCache:
     # ------------------------------------------------------------------ #
     # File handling
     # ------------------------------------------------------------------ #
-    def _load(self) -> Dict[str, dict]:
-        if self._entries is not None:
-            return self._entries
+    def _read_file(self) -> Dict[str, dict]:
+        """Read the entries straight from disk (no in-process memo)."""
         entries: Dict[str, dict] = {}
         try:
             with open(self.path, "r", encoding="utf-8") as fh:
@@ -72,8 +80,31 @@ class PlanCache:
                     entries = stored
         except (OSError, ValueError):
             pass
-        self._entries = entries
         return entries
+
+    def _load(self) -> Dict[str, dict]:
+        if self._entries is None:
+            self._entries = self._read_file()
+        return self._entries
+
+    @contextlib.contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Exclusive cross-process lock for mutations (sidecar file).
+
+        The lock file sits next to the cache (``<name>.lock``) so the
+        atomic-rename of the cache itself never invalidates the lock fd.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = self.path.with_name(self.path.name + ".lock")
+        with open(lock_path, "a+", encoding="utf-8") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
     def _save(self) -> None:
         entries = self._load()
@@ -108,18 +139,27 @@ class PlanCache:
         return record
 
     def put(self, key: str, record: dict) -> None:
-        """Store ``record`` under ``key`` (stamped) and persist."""
+        """Store ``record`` under ``key`` (stamped) and persist.
+
+        Runs a read-merge-write cycle under the cross-process lock:
+        entries written by concurrent processes since our last read are
+        merged in rather than overwritten.
+        """
         record = dict(record)
         record.setdefault("cached_at", time.strftime("%Y-%m-%dT%H:%M:%S"))
-        self._load()[key] = record
-        self._save()
+        with self._locked():
+            entries = self._read_file()
+            entries[key] = record
+            self._entries = entries
+            self._save()
 
     def clear(self) -> int:
         """Drop every entry (and the file); returns the number removed."""
-        n = len(self._load())
-        self._entries = {}
-        try:
-            os.unlink(self.path)
-        except OSError:
-            pass
+        with self._locked():
+            n = len(self._read_file())
+            self._entries = {}
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
         return n

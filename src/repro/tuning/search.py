@@ -24,7 +24,12 @@ without touching the simulator.
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -36,6 +41,7 @@ from repro.tiles.matrix import TiledMatrix
 from repro.tuning.cache import PlanCache, cache_key
 from repro.tuning.objectives import Objective, get_objective
 from repro.tuning.space import SearchSpace
+from repro.utils.retry import retry
 
 
 # --------------------------------------------------------------------------- #
@@ -104,13 +110,63 @@ class Evaluation:
         return row
 
 
+class _PoolBox:
+    """A self-healing ``concurrent.futures`` pool for candidate scoring.
+
+    A worker process dying (OOM kill, hard crash in a scoring run) breaks
+    a ``ProcessPoolExecutor`` permanently; every later ``map`` raises
+    ``BrokenProcessPool``.  This wrapper routes ``map`` through
+    :func:`repro.utils.retry.retry`, respawning the pool between attempts
+    — a search survives worker deaths at the cost of re-scoring the
+    broken wave — and reports each respawn on the
+    ``tuning.pool.respawns`` counter.
+    """
+
+    #: Map attempts per wave (original + retries after respawn).
+    attempts = 3
+
+    def __init__(self, workers: int, executor: str) -> None:
+        self.workers = workers
+        self.executor = executor
+        self._pool = self._build()
+
+    def _build(self) -> Executor:
+        pool_cls = (
+            ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
+        )
+        return pool_cls(max_workers=self.workers)
+
+    def _respawn(self, attempt: int, exc: BaseException, delay: float) -> None:
+        from repro.obs.metrics import REGISTRY
+
+        REGISTRY.inc("tuning.pool.respawns")
+        try:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - defensive
+            pass
+        self._pool = self._build()
+
+    def map(self, fn, items, chunksize: int = 1) -> list:
+        items = list(items)
+        return retry(
+            lambda: list(self._pool.map(fn, items, chunksize=chunksize)),
+            attempts=self.attempts,
+            backoff=0.05,
+            key="tuning-pool",
+            retry_on=(BrokenExecutor,),
+            on_retry=self._respawn,
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+
 def _make_pool(
     workers: int, executor: str, n_candidates: int
-) -> Optional[Executor]:
+) -> Optional[_PoolBox]:
     """One shared pool for a whole search, or ``None`` when serial wins."""
     if workers > 1 and n_candidates > 1:
-        pool_cls = ProcessPoolExecutor if executor == "process" else ThreadPoolExecutor
-        return pool_cls(max_workers=workers)
+        return _PoolBox(workers, executor)
     return None
 
 
@@ -169,7 +225,7 @@ def _race(
     prune: bool,
     fidelity: Optional[Tuple[int, int]] = None,
     batch: bool = False,
-    pool: Optional[Executor] = None,
+    pool: Optional[_PoolBox] = None,
 ) -> List[Evaluation]:
     """Evaluate ``candidates``, most-promising-first, pruning hopeless ones.
 

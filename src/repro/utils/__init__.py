@@ -1,6 +1,7 @@
-"""Utilities: test-matrix generators and validation helpers."""
+"""Utilities: test-matrix generators, validation helpers and retry."""
 
 from repro.utils.generators import latms, random_matrix, graded_singular_values
+from repro.utils.retry import RetryPolicy, backoff_delay, retry
 from repro.utils.validation import (
     relative_error,
     max_relative_error,
@@ -16,4 +17,7 @@ __all__ = [
     "max_relative_error",
     "orthogonality_error",
     "reconstruction_error",
+    "RetryPolicy",
+    "backoff_delay",
+    "retry",
 ]
